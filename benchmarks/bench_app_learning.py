@@ -1,0 +1,77 @@
+"""Benchmark PRE: cross-run sample learning (paper §7, last paragraph).
+
+When keyword hashes are hard-coded (not recomputed at startup), samples
+cannot be observed within a single run.  The paper proposes learning them
+over time from a seed corpus of well-formed inputs.  This bench measures a
+cold search (no corpus, provably stuck) vs a warm search (store primed by
+running each keyword once) and asserts only the warm one finds the bug.
+"""
+
+import pytest
+
+from repro.apps import build_hardcoded_lexer_program
+from repro.core import SampleStore
+from repro.search import DirectedSearch, SearchConfig
+from repro.solver import TermManager
+from repro.symbolic import ConcolicEngine, ConcretizationMode
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_hardcoded_lexer_program()
+
+
+def warm_store(app):
+    """Session 1: run the keyword corpus, recording hash samples."""
+    tm = TermManager()
+    store = SampleStore()
+    engine = ConcolicEngine(
+        app.program, app.fresh_natives(), ConcretizationMode.HIGHER_ORDER, tm
+    )
+    for kw in app.keywords:
+        store.merge_from_run(engine.run(app.entry, app.initial_inputs(kw, 0)))
+    return tm, store
+
+
+@pytest.mark.benchmark(group="PRE-learning")
+class TestCrossRunLearning:
+    def test_pre_cold_search_is_blind(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=80),
+            )
+            return search.run(app.initial_inputs("zzz", 0))
+
+        result = benchmark(run)
+        assert not result.found_error  # no samples observable in-run
+
+    def test_pre_corpus_priming(self, benchmark, app):
+        tm, store = benchmark(warm_store, app)
+        assert len(store) >= 1
+
+    def test_pre_warm_search_finds_bug(self, benchmark, app):
+        tm, store = warm_store(app)
+
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+                manager=tm, store=store,
+            )
+            return search.run(app.initial_inputs("zzz", 0))
+
+        result = run()  # correctness once
+        assert result.found_error
+        benchmark(run)
+
+    def test_pre_store_persistence(self, benchmark, app, tmp_path):
+        tm, store = warm_store(app)
+        path = str(tmp_path / "samples.json")
+
+        def roundtrip():
+            store.save(path)
+            return SampleStore.load(path, TermManager())
+
+        loaded = benchmark(roundtrip)
+        assert len(loaded) == len(store)

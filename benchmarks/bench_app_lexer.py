@@ -1,0 +1,76 @@
+"""Benchmark APP: the §7 lexer comparison — random vs DART vs HOTG.
+
+Reproduces the section's qualitative table: blackbox random testing and
+plain dynamic test generation stall at the lexer; higher-order test
+generation drives execution through it (keyword synthesis by hash
+inversion) and finds the buried bug.
+"""
+
+import pytest
+
+from repro.apps import build_lexer_program, build_table_lexer_program, codes_to_word
+from repro.baselines import RandomFuzzer
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_lexer_program()
+
+
+@pytest.mark.benchmark(group="APP-lexer")
+class TestLexerComparison:
+    def test_app_lexer_random_fuzzing(self, benchmark, app):
+        def run():
+            fuzzer = RandomFuzzer(
+                app.program, app.entry, app.fresh_natives(),
+                ranges={f"c{i}": (0, 127) for i in range(app.width)},
+                default_range=(-200, 200), seed=11,
+            )
+            return fuzzer.run(max_runs=300)
+
+        result = benchmark(run)
+        assert not result.found_error
+        assert result.coverage.ratio() < 0.6
+
+    def test_app_lexer_dart_unsound(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.UNSOUND, SearchConfig(max_runs=120),
+            )
+            return search.run(app.initial_inputs("zzz", 0))
+
+        result = benchmark(run)
+        assert not result.found_error
+        assert result.coverage.ratio() < 0.6
+
+    def test_app_lexer_higher_order(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+            )
+            return search.run(app.initial_inputs("zzz", 0))
+
+        result = benchmark(run)
+        assert result.found_error
+        err = result.errors[0]
+        word = codes_to_word([err.inputs[f"c{i}"] for i in range(app.width)])
+        assert word == "ret" and err.inputs["arg"] == 99
+        assert result.coverage.ratio() >= 0.7
+
+    def test_app_table_lexer_higher_order_limit(self, benchmark):
+        """The Figure-4 table variant: the store lookup defeats inversion."""
+        table_app = build_table_lexer_program()
+
+        def run():
+            search = DirectedSearch.for_mode(
+                table_app.program, table_app.entry, table_app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+            )
+            return search.run(table_app.initial_inputs("zzz", 0))
+
+        result = benchmark(run)
+        assert not result.found_error  # documented §6 limitation

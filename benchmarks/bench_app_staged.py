@@ -1,0 +1,104 @@
+"""Benchmarks for the staged applications: protocol, auth, calculator.
+
+These extend the §7 experiment to the whitebox-fuzzing-shaped workloads
+the paper's introduction motivates (checksum-guarded parsers, staged
+interpreters): higher-order generation forges the guards, baselines stall.
+"""
+
+import pytest
+
+from repro.apps import build_auth_app, build_calculator_app, build_protocol_app
+from repro.baselines import RandomFuzzer
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+@pytest.mark.benchmark(group="APP-protocol")
+class TestProtocolBench:
+    def test_app_protocol_higher_order(self, benchmark):
+        app = build_protocol_app()
+
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=80),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark(run)
+        assert len(result.errors) >= 2  # both buried bugs
+        assert result.divergences == 0
+
+    def test_app_protocol_random(self, benchmark):
+        app = build_protocol_app()
+
+        def run():
+            return RandomFuzzer(
+                app.program, app.entry, app.fresh_natives(),
+                default_range=(-100000, 100000), seed=2,
+            ).run(300)
+
+        result = benchmark(run)
+        assert not result.found_error
+
+    def test_app_protocol_unsound(self, benchmark):
+        app = build_protocol_app()
+
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.UNSOUND, SearchConfig(max_runs=80),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark(run)
+        assert not result.found_error
+
+
+@pytest.mark.benchmark(group="APP-auth")
+class TestAuthBench:
+    def test_app_auth_higher_order_forges_mac(self, benchmark):
+        app = build_auth_app()
+
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark(run)
+        assert result.found_error
+        assert result.coverage.ratio() == 1.0
+
+
+@pytest.mark.benchmark(group="APP-calculator")
+class TestCalculatorBench:
+    def test_app_calculator_higher_order(self, benchmark):
+        app = build_calculator_app()
+
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=200),
+            )
+            return search.run(app.initial_inputs("zzzz", "qqqq", 1))
+
+        result = benchmark(run)
+        assert result.found_error
+        assert result.coverage.ratio() >= 0.9
+
+    def test_app_calculator_random(self, benchmark):
+        app = build_calculator_app()
+
+        def run():
+            return RandomFuzzer(
+                app.program, app.entry, app.fresh_natives(),
+                ranges={
+                    n: (0, 127) for n in app.input_names if n != "operand"
+                },
+                seed=4,
+            ).run(300)
+
+        result = benchmark(run)
+        assert not result.found_error

@@ -1,0 +1,76 @@
+"""Benchmark: cracking the TinyVM (checksum + bytecode synthesis).
+
+The hardest target in the suite: a valid 6-byte CRC must be forged while
+simultaneously synthesizing an opcode sequence and a data value.  Also
+hosts the frontier-scheduling ablation (fifo vs coverage-guided).
+"""
+
+import pytest
+
+from repro.apps import build_tinyvm_app
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_tinyvm_app()
+
+
+@pytest.mark.benchmark(group="APP-tinyvm")
+class TestTinyVmBench:
+    def test_app_tinyvm_higher_order_first_bug(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER,
+                SearchConfig(max_runs=200, stop_on_first_error=True),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert result.found_error
+
+    def test_app_tinyvm_unsound_stalls(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.UNSOUND, SearchConfig(max_runs=100),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark(run)
+        assert not result.found_error
+
+
+@pytest.mark.benchmark(group="ABL-frontier")
+class TestFrontierAblation:
+    """fifo vs coverage-guided scheduling to the first TinyVM bug."""
+
+    def test_abl_frontier_fifo(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER,
+                SearchConfig(
+                    max_runs=200, stop_on_first_error=True, frontier="fifo"
+                ),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert result.found_error
+
+    def test_abl_frontier_coverage(self, benchmark, app):
+        def run():
+            search = DirectedSearch.for_mode(
+                app.program, app.entry, app.fresh_natives(),
+                ConcretizationMode.HIGHER_ORDER,
+                SearchConfig(
+                    max_runs=200, stop_on_first_error=True, frontier="coverage"
+                ),
+            )
+            return search.run(app.initial_inputs())
+
+        result = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert result.found_error

@@ -1,0 +1,129 @@
+"""Benchmarks E0–E7: every worked example in the paper.
+
+Each bench times the full directed-search session for the engine the
+paper's claim concerns, and asserts the claim itself.  The bench names
+carry the experiment ids from DESIGN.md §4.
+"""
+
+import pytest
+
+from repro.symbolic import ConcretizationMode
+
+from conftest import run_example
+
+HO = ConcretizationMode.HIGHER_ORDER
+UNSOUND = ConcretizationMode.UNSOUND
+SOUND = ConcretizationMode.SOUND
+DELAYED = ConcretizationMode.SOUND_DELAYED
+
+
+@pytest.mark.benchmark(group="E0-obscure")
+class TestE0:
+    def test_e0_obscure_dynamic_unsound(self, benchmark):
+        result = benchmark(run_example, "obscure", UNSOUND)
+        assert result.found_error
+
+    def test_e0_obscure_higher_order(self, benchmark):
+        result = benchmark(run_example, "obscure", HO)
+        assert result.found_error and result.divergences == 0
+
+    def test_e0_obscure_static_helpless(self, benchmark):
+        from repro.apps.paper_programs import PAPER_EXAMPLES, make_paper_natives
+        from repro.baselines import StaticTestGenerator
+        from repro.search import SearchConfig
+
+        ex = PAPER_EXAMPLES["obscure"]
+
+        def run():
+            gen = StaticTestGenerator(
+                ex.program(), ex.entry, make_paper_natives(),
+                SearchConfig(max_runs=20),
+            )
+            return gen.run(dict(ex.initial_inputs))
+
+        result = benchmark(run)
+        assert not result.found_error and result.divergences >= 1
+
+
+@pytest.mark.benchmark(group="E1-foo-sound")
+class TestE1:
+    def test_e1_foo_sound_no_divergence_no_bug(self, benchmark):
+        result = benchmark(run_example, "foo", SOUND)
+        assert not result.found_error and result.divergences == 0
+
+    def test_e1u_foo_unsound_diverges(self, benchmark):
+        result = benchmark(run_example, "foo", UNSOUND)
+        assert result.divergences >= 1 and not result.found_error
+
+
+@pytest.mark.benchmark(group="E2-foo_bis")
+class TestE2:
+    def test_e2_foo_bis_unsound_good_divergence(self, benchmark):
+        result = benchmark(run_example, "foo_bis", UNSOUND)
+        assert result.found_error
+
+    def test_e2_foo_bis_sound_misses(self, benchmark):
+        result = benchmark(run_example, "foo_bis", SOUND)
+        assert not result.found_error
+
+    def test_e2_foo_bis_higher_order_sound_catch(self, benchmark):
+        result = benchmark(run_example, "foo_bis", HO)
+        assert result.found_error and result.divergences == 0
+
+
+@pytest.mark.benchmark(group="E3-bar")
+class TestE3:
+    def test_e3_bar_unsound_bad_divergence(self, benchmark):
+        result = benchmark(run_example, "bar", UNSOUND)
+        assert result.divergences >= 1 and not result.found_error
+
+    def test_e3_bar_higher_order_proves_invalid(self, benchmark):
+        result = benchmark(run_example, "bar", HO)
+        assert result.runs == 1  # no test generated: POST proved invalid
+        assert result.divergences == 0
+
+
+@pytest.mark.benchmark(group="E4-pub")
+class TestE4:
+    def test_e4_pub_higher_order_with_antecedent(self, benchmark):
+        result = benchmark(run_example, "pub", HO)
+        assert result.found_error
+
+    def test_e4_pub_higher_order_without_antecedent(self, benchmark):
+        result = benchmark(run_example, "pub", HO, 40, False)
+        assert not result.found_error
+
+
+@pytest.mark.benchmark(group="E5-euf")
+class TestE5:
+    def test_e5_euf_equality_strategy(self, benchmark):
+        result = benchmark(run_example, "euf_eq", HO)
+        assert result.found_error
+
+    def test_e5_sound_concretization_cannot(self, benchmark):
+        result = benchmark(run_example, "euf_eq", SOUND)
+        assert not result.found_error
+
+
+@pytest.mark.benchmark(group="E6-antecedent")
+class TestE6:
+    def test_e6_sound_cannot(self, benchmark):
+        result = benchmark(run_example, "succ_link", SOUND)
+        assert not result.found_error
+
+
+@pytest.mark.benchmark(group="E7-multistep")
+class TestE7:
+    def test_e7_foo_higher_order_two_step(self, benchmark):
+        result = benchmark(run_example, "foo", HO)
+        assert result.found_error
+        err = result.errors[0]
+        assert err.inputs["y"] == 10
+
+    def test_e7_delayed_concretization_variant(self, benchmark):
+        result = benchmark(run_example, "delayed", DELAYED)
+        assert result.found_error
+
+    def test_e7_eager_sound_variant_misses(self, benchmark):
+        result = benchmark(run_example, "delayed", SOUND)
+        assert not result.found_error

@@ -1,0 +1,81 @@
+"""Scaling sweeps: how the solver and validity engine grow with input size.
+
+The paper's §6 frames implementability as a scaling question ("gigantic
+path constraints that would overwhelm even the best engineered constraint
+solvers").  These sweeps measure the three dimensions that grow in
+practice: sample-table size (hash inversion), application count
+(Ackermann pressure), and path-constraint length (deep programs).
+"""
+
+import pytest
+
+from repro.lang import NativeRegistry, parse_program
+from repro.search import DirectedSearch, SearchConfig
+from repro.solver import Solver, TermManager
+from repro.solver.validity import Sample, ValidityChecker, ValidityStatus
+from repro.symbolic import ConcretizationMode
+
+
+@pytest.mark.benchmark(group="SCALE-samples")
+@pytest.mark.parametrize("n_samples", [8, 32, 128])
+def test_scale_hash_inversion_by_table_size(benchmark, n_samples):
+    """Validity with grounding over n recorded samples."""
+    tm = TermManager()
+    h = tm.mk_function("h", 1)
+    y = tm.mk_var("y")
+    samples = [Sample(h, (i,), (i * 37) % 1009) for i in range(n_samples)]
+    target = ((n_samples - 1) * 37) % 1009
+    pc = tm.mk_eq(tm.mk_app(h, [y]), tm.mk_int(target))
+
+    def run():
+        return ValidityChecker(tm).check(pc, [y], samples)
+
+    verdict = benchmark(run)
+    assert verdict.status is ValidityStatus.VALID
+
+
+@pytest.mark.benchmark(group="SCALE-ackermann")
+@pytest.mark.parametrize("n_apps", [4, 8, 16])
+def test_scale_ackermann_pressure(benchmark, n_apps):
+    """SAT queries with n same-symbol applications: O(n²) constraints."""
+    def run():
+        tm = TermManager()
+        solver = Solver(tm)
+        h = tm.mk_function("h", 1)
+        vs = [tm.mk_var(f"k{i}") for i in range(n_apps)]
+        for i, v in enumerate(vs):
+            solver.add(
+                tm.mk_eq(tm.mk_app(h, [v]), tm.mk_int(i % 3))
+            )
+        solver.add(tm.mk_distinct(vs[: min(4, n_apps)]))
+        return solver.check()
+
+    assert benchmark(run).sat
+
+
+@pytest.mark.benchmark(group="SCALE-depth")
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_scale_search_with_deep_constraint_chains(benchmark, depth):
+    """Directed search through a comb of `depth` sequential conditions."""
+    conds = "\n".join(
+        f"    if (x + {i} == y * 2) {{ count = count + 1; }}"
+        for i in range(depth)
+    )
+    src = f"""
+    int main(int x, int y) {{
+        int count = 0;
+    {conds}
+        return count;
+    }}
+    """
+    program = parse_program(src)
+
+    def run():
+        search = DirectedSearch.for_mode(
+            program, "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=depth + 5),
+        )
+        return search.run({"x": 0, "y": 1000})
+
+    result = benchmark(run)
+    assert result.runs >= 2

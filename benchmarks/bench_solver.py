@@ -1,0 +1,187 @@
+"""Benchmarks SOL: micro-benchmarks of the from-scratch solver stack.
+
+The paper's §6 discusses implementability: higher-order test generation
+stands or falls with the solver's throughput on path-constraint-shaped
+formulas.  These benches track SAT, EUF, LIA, combined SMT, and validity
+query performance.
+"""
+
+import pytest
+
+from repro.solver import (
+    CongruenceClosure,
+    LiaSolver,
+    SatSolver,
+    Solver,
+    TermManager,
+)
+from repro.solver.validity import Sample, ValidityChecker, ValidityStatus
+
+
+@pytest.mark.benchmark(group="SOL-sat")
+class TestSatBench:
+    def test_sol_sat_pigeonhole_5(self, benchmark):
+        def run():
+            s = SatSolver()
+            holes = 5
+            pigeons = holes + 1
+            var = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+            for p in range(pigeons):
+                s.add_clause([var[p][h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        s.add_clause([-var[p1][h], -var[p2][h]])
+            return s.solve()
+
+        result = benchmark(run)
+        assert not result.sat
+
+    def test_sol_sat_chain_implication(self, benchmark):
+        def run():
+            s = SatSolver()
+            n = 500
+            v = [s.new_var() for _ in range(n)]
+            s.add_clause([v[0]])
+            for i in range(n - 1):
+                s.add_clause([-v[i], v[i + 1]])
+            return s.solve()
+
+        result = benchmark(run)
+        assert result.sat and result.model[500]
+
+
+@pytest.mark.benchmark(group="SOL-euf")
+class TestEufBench:
+    def test_sol_euf_congruence_chain(self, benchmark):
+        tm = TermManager()
+        f = tm.mk_function("f", 1)
+        x = tm.mk_var("x")
+
+        def nest(t, n):
+            for _ in range(n):
+                t = tm.mk_app(f, [t])
+            return t
+
+        def run():
+            cc = CongruenceClosure()
+            cc.assert_equal(nest(x, 3), x)
+            cc.assert_equal(nest(x, 5), x)
+            return cc.are_equal(nest(x, 1), x)
+
+        assert benchmark(run)
+
+    def test_sol_euf_many_classes(self, benchmark):
+        tm = TermManager()
+        vs = [tm.mk_var(f"v{i}") for i in range(200)]
+
+        def run():
+            cc = CongruenceClosure()
+            for a, b in zip(vs, vs[1:]):
+                cc.assert_equal(a, b)
+            return cc.are_equal(vs[0], vs[-1])
+
+        assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="SOL-lia")
+class TestLiaBench:
+    def test_sol_lia_diophantine(self, benchmark):
+        def run():
+            lia = LiaSolver()
+            x, y = lia.new_var("x"), lia.new_var("y")
+            lia.add_ge({x: 1}, 0)
+            lia.add_ge({y: 1}, 0)
+            lia.add_le({x: 1}, 50)
+            lia.add_le({y: 1}, 50)
+            lia.add_eq({x: 7, y: 11}, 100)
+            return lia.check()
+
+        result = benchmark(run)
+        assert result.sat
+
+    def test_sol_lia_diseq_splitting(self, benchmark):
+        def run():
+            lia = LiaSolver()
+            x = lia.new_var("x")
+            lia.add_ge({x: 1}, 0)
+            lia.add_le({x: 1}, 20)
+            for v in range(15):
+                lia.add_diseq({x: 1}, v)
+            return lia.check()
+
+        result = benchmark(run)
+        assert result.sat and result.model[0] >= 15
+
+
+@pytest.mark.benchmark(group="SOL-smt")
+class TestSmtBench:
+    def test_sol_smt_pc_shaped_query(self, benchmark):
+        """A query shaped like the lexer pc: UF equalities + grounding ORs."""
+        def run():
+            tm = TermManager()
+            s = Solver(tm)
+            h = tm.mk_function("h", 4)
+            cs = [tm.mk_var(f"c{i}") for i in range(4)]
+            app = tm.mk_app(h, cs)
+            # grounding disjunction over 9 sampled keywords
+            options = []
+            for k in range(9):
+                eqs = [tm.mk_eq(c, tm.mk_int(90 + k + i)) for i, c in enumerate(cs)]
+                options.append(tm.mk_and(*eqs))
+            s.add(tm.mk_or(*options))
+            s.add(tm.mk_eq(app, tm.mk_app(h, cs)))
+            return s.check()
+
+        result = benchmark(run)
+        assert result.sat
+
+    def test_sol_smt_ackermann_pressure(self, benchmark):
+        """Many applications of one symbol: quadratic consistency clauses."""
+        def run():
+            tm = TermManager()
+            s = Solver(tm)
+            h = tm.mk_function("h", 1)
+            vs = [tm.mk_var(f"k{i}") for i in range(10)]
+            for i, v in enumerate(vs):
+                s.add(tm.mk_eq(tm.mk_app(h, [v]), tm.mk_int(i % 3)))
+            s.add(tm.mk_distinct(vs[:4]))
+            return s.check()
+
+        result = benchmark(run)
+        assert result.sat
+
+
+@pytest.mark.benchmark(group="SOL-validity")
+class TestValidityBench:
+    def test_sol_validity_grounding(self, benchmark):
+        """Hash inversion through 32 samples (the §7 query shape)."""
+        tm = TermManager()
+        h = tm.mk_function("h", 1)
+        y = tm.mk_var("y")
+        samples = [Sample(h, (i,), (i * 37) % 101) for i in range(32)]
+        target = (20 * 37) % 101
+        pc = tm.mk_eq(tm.mk_app(h, [y]), tm.mk_int(target))
+
+        def run():
+            checker = ValidityChecker(tm)
+            return checker.check(pc, [y], samples)
+
+        verdict = benchmark(run)
+        assert verdict.status is ValidityStatus.VALID
+
+    def test_sol_validity_invalidity_adversaries(self, benchmark):
+        tm = TermManager()
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        pc = tm.mk_and(
+            tm.mk_eq(x, tm.mk_app(h, [y])), tm.mk_eq(y, tm.mk_app(h, [x]))
+        )
+        samples = [Sample(h, (42,), 567), Sample(h, (33,), 123)]
+
+        def run():
+            checker = ValidityChecker(tm)
+            return checker.check(pc, [x, y], samples)
+
+        verdict = benchmark(run)
+        assert verdict.status is ValidityStatus.INVALID

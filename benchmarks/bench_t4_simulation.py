@@ -1,0 +1,78 @@
+"""Benchmark T4: the Simulation Theorem check (paper Theorem 4).
+
+Times the full hypothesis→conclusion check on the program family from
+tests/test_simulation_theorem.py: build both SC and UF path constraints,
+decide satisfiability of the SC alternates, and prove validity of the
+corresponding POST formulas.
+"""
+
+import pytest
+
+from repro.core import alternate_constraint, negatable_indices
+from repro.lang import NativeRegistry, parse_program
+from repro.solver import Solver, TermManager
+from repro.solver.validity import ValidityChecker, ValidityStatus
+from repro.symbolic import ConcolicEngine, ConcretizationMode
+
+SRC = """
+int p(int x, int y, int z) {
+    int v = hash(x);
+    if (v == hash(y)) { return 1; }
+    if (z > 20) { return 2; }
+    if (x + z == 50) { return 3; }
+    return 0;
+}
+"""
+
+
+def make_natives():
+    n = NativeRegistry()
+    n.register("hash", lambda y: (y * 37 + 11) % 211)
+    return n
+
+
+def simulation_check(inputs):
+    prog = parse_program(SRC)
+    tm_sc, tm_ho = TermManager(), TermManager()
+    sc = ConcolicEngine(prog, make_natives(), ConcretizationMode.SOUND, tm_sc)
+    ho = ConcolicEngine(
+        prog, make_natives(), ConcretizationMode.HIGHER_ORDER, tm_ho
+    )
+    run_sc = sc.run("p", inputs)
+    run_ho = ho.run("p", inputs)
+    sc_by_pos = {
+        run_sc.path_conditions[i].path_pos: i
+        for i in negatable_indices(run_sc.path_conditions)
+    }
+    ho_by_pos = {
+        run_ho.path_conditions[i].path_pos: i
+        for i in negatable_indices(run_ho.path_conditions)
+    }
+    holds = 0
+    for pos, i_sc in sc_by_pos.items():
+        alt_sc = alternate_constraint(tm_sc, run_sc.path_conditions, i_sc)
+        solver = Solver(tm_sc)
+        solver.add(alt_sc)
+        if not solver.check().sat:
+            continue
+        alt_ho = alternate_constraint(
+            tm_ho, run_ho.path_conditions, ho_by_pos[pos]
+        )
+        verdict = ValidityChecker(tm_ho).check(
+            alt_ho, list(run_ho.input_vars.values()), run_ho.samples,
+            defaults=dict(inputs),
+        )
+        assert verdict.status is ValidityStatus.VALID
+        holds += 1
+    return holds
+
+
+@pytest.mark.benchmark(group="T4-simulation")
+class TestSimulationTheoremBench:
+    def test_t4_simulation_check(self, benchmark):
+        holds = benchmark(simulation_check, {"x": 3, "y": 4, "z": 0})
+        assert holds >= 1
+
+    def test_t4_simulation_check_other_path(self, benchmark):
+        holds = benchmark(simulation_check, {"x": 30, "y": 7, "z": 25})
+        assert holds >= 1

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment from DESIGN.md's index: it runs
+the experiment under ``pytest-benchmark`` timing *and* asserts the paper's
+qualitative claim (who finds the bug, who diverges, who wins on coverage),
+so a regression in either speed or reproduction fidelity is caught here.
+"""
+
+import pytest
+
+from repro.apps.paper_programs import PAPER_EXAMPLES, make_paper_natives
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+def run_example(name, mode, max_runs=40, use_antecedent=True):
+    """Run one paper example under one engine; returns the SearchResult."""
+    ex = PAPER_EXAMPLES[name]
+    search = DirectedSearch.for_mode(
+        ex.program(),
+        ex.entry,
+        make_paper_natives(),
+        mode,
+        SearchConfig(max_runs=max_runs),
+        use_antecedent=use_antecedent,
+    )
+    return search.run(dict(ex.initial_inputs))
+
+
+@pytest.fixture
+def paper_runner():
+    return run_example

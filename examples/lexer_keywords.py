@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's Section 7 application: testing through a hashing lexer.
+
+A flex-style lexer recognizes keywords by hashing input chunks.  Plain
+concolic testing and blackbox fuzzing cannot synthesize keyword-shaped
+inputs; higher-order test generation inverts the hash through the samples
+recorded when the lexer hashes its own keyword table at startup.
+
+Run with::
+
+    python examples/lexer_keywords.py
+"""
+
+import time
+
+from repro import ConcretizationMode, DirectedSearch, SearchConfig
+from repro.apps import build_lexer_program, codes_to_word
+from repro.baselines import RandomFuzzer
+
+
+def main() -> None:
+    app = build_lexer_program()
+    print("keywords:", ", ".join(app.keywords))
+    print("bug: input word 'ret' with arg == 99, buried behind the lexer\n")
+
+    rows = []
+
+    start = time.perf_counter()
+    fuzz = RandomFuzzer(
+        app.program,
+        app.entry,
+        app.fresh_natives(),
+        ranges={f"c{i}": (0, 127) for i in range(app.width)},
+        default_range=(-200, 200),
+        seed=11,
+    ).run(max_runs=500)
+    rows.append(("blackbox random (500 runs)", fuzz.summary(),
+                 time.perf_counter() - start))
+
+    for mode, label in [
+        (ConcretizationMode.UNSOUND, "DART (unsound concretization)"),
+        (ConcretizationMode.SOUND, "sound concretization"),
+        (ConcretizationMode.HIGHER_ORDER, "higher-order test generation"),
+    ]:
+        start = time.perf_counter()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(), mode,
+            SearchConfig(max_runs=120),
+        )
+        result = search.run(app.initial_inputs("zzz", 0))
+        rows.append((label, result.summary(), time.perf_counter() - start))
+        for error in result.errors:
+            word = codes_to_word(
+                [error.inputs[f"c{i}"] for i in range(app.width)]
+            )
+            print(
+                f"  [{label}] found the bug: word={word!r} "
+                f"arg={error.inputs['arg']}"
+            )
+
+    print()
+    for label, summary, elapsed in rows:
+        print(f"{label:32s} {summary}  ({elapsed:.2f}s)")
+
+    print(
+        "\nOnly higher-order test generation reaches the parser stage: its\n"
+        "validity engine inverts flex_hash through the keyword samples the\n"
+        "lexer itself recorded during symbol-table initialization."
+    )
+
+
+if __name__ == "__main__":
+    main()

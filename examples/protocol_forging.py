@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Forging checksums and MACs with higher-order test generation.
+
+Two guard shapes that defeat every technique without runtime samples:
+
+- a packet parser that drops any packet whose CRC doesn't match
+  (``checksum == crc(kind, a, b)``), with bugs behind two commands;
+- a command executor that authenticates messages with a keyed MAC
+  (``tag == cipher(message, SECRET)``), with a privileged-action bug
+  behind a specific authenticated message.
+
+Higher-order test generation forges both guards through multi-step
+strategies: the validity proof says "set checksum := crc(kind₀,a₀,b₀)",
+an intermediate run samples that CRC point, and the final packet passes
+validation. The secret MAC key never appears in any constraint — only the
+cipher's observed input-output pair is used.
+
+Run with::
+
+    python examples/protocol_forging.py
+"""
+
+from repro import ConcretizationMode, DirectedSearch, SearchConfig
+from repro.apps import build_auth_app, build_protocol_app
+from repro.baselines import RandomFuzzer
+
+
+def compare(name, app, seed_inputs, fuzz_range):
+    print(f"=== {name} ===")
+    fuzz = RandomFuzzer(
+        app.program, app.entry, app.fresh_natives(),
+        default_range=fuzz_range, seed=2,
+    ).run(max_runs=400)
+    print(f"  blackbox random (400):    {fuzz.summary()}")
+
+    for mode in (ConcretizationMode.UNSOUND, ConcretizationMode.HIGHER_ORDER):
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(), mode,
+            SearchConfig(max_runs=80),
+        )
+        result = search.run(dict(seed_inputs))
+        print(f"  {mode.value:24s}  {result.summary()}")
+        for error in result.errors:
+            print(f"      forged inputs -> {error}")
+    print()
+
+
+def main() -> None:
+    protocol = build_protocol_app()
+    compare(
+        "CRC-guarded packet parser",
+        protocol,
+        protocol.initial_inputs(),
+        (-100000, 100000),
+    )
+
+    auth = build_auth_app()
+    compare(
+        "MAC-authenticated executor",
+        auth,
+        auth.initial_inputs(),
+        (-(2**31), 2**31),
+    )
+
+    print(
+        "Both guards fall to validity-proof strategies with sample\n"
+        "learning: the engine never inverts CRC or the cipher — it only\n"
+        "replays input-output pairs the program itself computed."
+    )
+
+
+if __name__ == "__main__":
+    main()

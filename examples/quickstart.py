@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: higher-order test generation on the paper's `obscure`.
+
+The motivating example of the paper (Section 1): a branch guarded by a
+hash comparison that no constraint solver can invert.  We run all four
+engines plus the static baseline and print what each one achieves.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ConcretizationMode,
+    DirectedSearch,
+    NativeRegistry,
+    SearchConfig,
+    StaticTestGenerator,
+    parse_program,
+)
+
+OBSCURE = """
+int obscure(int x, int y) {
+    if (x == hash(y)) {
+        error("error branch reached");   // the paper's `return -1`
+    }
+    return 0;                            // ok
+}
+"""
+
+
+def make_natives() -> NativeRegistry:
+    """`hash` is a *native*: the engines see only its input-output pairs."""
+    natives = NativeRegistry()
+    natives.register("hash", lambda y: (y * 2654435761 + 12345) % 65521)
+    return natives
+
+
+def main() -> None:
+    program = parse_program(OBSCURE)
+    seed = {"x": 33, "y": 42}
+
+    print("=== obscure(x, y): if (x == hash(y)) error; ===\n")
+    print(f"seed inputs: {seed}\n")
+
+    for mode in ConcretizationMode:
+        search = DirectedSearch.for_mode(
+            program, "obscure", make_natives(), mode, SearchConfig(max_runs=20)
+        )
+        result = search.run(dict(seed))
+        print(f"{mode.value:14s} {result.summary()}")
+        for error in result.errors:
+            print(f"                 -> {error}")
+
+    static = StaticTestGenerator(
+        program, "obscure", make_natives(), SearchConfig(max_runs=20)
+    )
+    result = static.run(dict(seed))
+    print(f"{'static':14s} {result.summary()}   (satisfiability invents hash)")
+
+    print(
+        "\nDynamic engines cover both branches because they observe the\n"
+        "concrete hash value at runtime; the static baseline generates\n"
+        "tests from invented hash behaviour, which diverge on execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

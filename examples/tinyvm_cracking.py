@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Cracking the TinyVM: checksum forging + instruction synthesis.
+
+TinyVM loads a 6-byte bytecode program only when its CRC matches, then
+interprets it over an accumulator machine.  One instruction (CHECK) hides
+an error behind the accumulator value 13 — reachable only by a particular
+instruction *sequence* with a particular data argument, inside a validly
+checksummed program.
+
+Higher-order test generation assembles all three ingredients at once:
+
+1. the CRC guard is flipped via a multi-step strategy
+   ``checksum := vmcrc(op₀,…,op₅)`` (an intermediate run samples the CRC);
+2. the dispatcher equalities synthesize opcode values;
+3. the accumulator constraint fixes ``arg``.
+
+Run with::
+
+    python examples/tinyvm_cracking.py
+"""
+
+from repro import ConcretizationMode, DirectedSearch, SearchConfig
+from repro.apps import OPCODES, build_tinyvm_app
+from repro.baselines import RandomFuzzer
+
+MNEMONIC = {v: k for k, v in OPCODES.items()}
+
+
+def main() -> None:
+    app = build_tinyvm_app()
+    print("instruction set:", ", ".join(f"{v}={k}" for k, v in OPCODES.items()))
+    print("target: a validly-checksummed program driving acc to 13 at a CHECK\n")
+
+    fuzz = RandomFuzzer(
+        app.program, app.entry, app.fresh_natives(),
+        ranges={f"op{i}": (0, 5) for i in range(app.code_len)},
+        default_range=(-100000, 100000), seed=9,
+    ).run(max_runs=500)
+    print(f"blackbox random (500):  {fuzz.summary()}")
+
+    dart = DirectedSearch.for_mode(
+        app.program, app.entry, app.fresh_natives(),
+        ConcretizationMode.UNSOUND, SearchConfig(max_runs=100),
+    ).run(app.initial_inputs())
+    print(f"DART (unsound):         {dart.summary()}")
+
+    search = DirectedSearch.for_mode(
+        app.program, app.entry, app.fresh_natives(),
+        ConcretizationMode.HIGHER_ORDER,
+        SearchConfig(max_runs=200, stop_on_first_error=True),
+    )
+    result = search.run(app.initial_inputs())
+    print(f"higher-order:           {result.summary()}\n")
+
+    for error in result.errors:
+        ops = [error.inputs[f"op{i}"] for i in range(app.code_len)]
+        listing = " ".join(MNEMONIC.get(o, f"?{o}") for o in ops)
+        print("cracked bytecode:")
+        print(f"  opcodes : {ops}   ({listing})")
+        print(f"  arg     : {error.inputs['arg']}")
+        print(f"  checksum: {error.inputs['checksum']} "
+              f"(valid: {error.inputs['checksum'] == app.checksum_of(ops)})")
+
+    print("\nexecution genealogy (first runs):")
+    print(result.tree_report(max_rows=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""repro — a reproduction of "Higher-Order Test Generation" (PLDI 2011).
+
+Patrice Godefroid's paper introduces test generation from *validity
+proofs* of first-order formulas with uninterpreted functions, recording
+runtime input-output *samples* of unknown functions to make the derived
+test strategies concrete.  This package implements the whole stack from
+scratch:
+
+- :mod:`repro.solver` — SMT solving (CDCL SAT, EUF congruence closure,
+  simplex + branch-and-bound LIA) and the validity/strategy engine;
+- :mod:`repro.lang` — MiniC, a small C-like language with a parser and
+  concrete interpreter;
+- :mod:`repro.symbolic` — the concolic machine with the paper's four
+  imprecision treatments (unsound / sound / delayed-sound concretization
+  and higher-order UF mode);
+- :mod:`repro.core` — higher-order test generation: IOF sample store,
+  ``POST(pc)`` construction, multi-step test generation;
+- :mod:`repro.search` — the DART-style directed search with divergence
+  detection and branch coverage;
+- :mod:`repro.apps` — the paper's example programs and the §7 lexer
+  application;
+- :mod:`repro.baselines` — blackbox random fuzzing and static test
+  generation, the techniques the paper contrasts against.
+
+Quickstart::
+
+    from repro import (
+        parse_program, NativeRegistry, ConcretizationMode,
+        DirectedSearch, SearchConfig,
+    )
+
+    src = '''
+    int obscure(int x, int y) {
+        if (x == hash(y)) { error("reached"); }
+        return 0;
+    }
+    '''
+    natives = NativeRegistry()
+    natives.register("hash", lambda y: (y * 31 + 7) % 1000)
+    search = DirectedSearch.for_mode(
+        parse_program(src), "obscure", natives,
+        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=20),
+    )
+    result = search.run({"x": 33, "y": 42})
+    assert result.found_error
+"""
+
+from .errors import (
+    InterpError,
+    ParseError,
+    ReproError,
+    ResourceLimitError,
+    SolverError,
+    StepBudgetExceeded,
+    StrategyError,
+    SymbolicExecutionError,
+)
+from .lang import (
+    Interpreter,
+    NativeRegistry,
+    Program,
+    RunResult,
+    parse_expression,
+    parse_program,
+)
+from .solver import (
+    CongruenceClosure,
+    FunctionSymbol,
+    LiaSolver,
+    Model,
+    SatSolver,
+    Solver,
+    Sort,
+    Term,
+    TermManager,
+    evaluate,
+)
+from .solver.validity import (
+    AppValue,
+    Sample,
+    SampleRequest,
+    Strategy,
+    ValidityChecker,
+    ValidityResult,
+    ValidityStatus,
+)
+from .symbolic import (
+    ConcolicEngine,
+    ConcolicResult,
+    ConcretizationMode,
+    PathCondition,
+)
+from .core import (
+    HigherOrderBackend,
+    MultiStepDriver,
+    PostFormula,
+    SampleStore,
+    alternate_constraint,
+    build_post,
+    negatable_indices,
+)
+from .search import (
+    BranchCoverage,
+    DirectedSearch,
+    ErrorReport,
+    ExistentialBackend,
+    QuantifierFreeBackend,
+    SearchConfig,
+    SearchResult,
+)
+from .baselines import FuzzResult, RandomFuzzer, StaticTestGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "InterpError",
+    "ParseError",
+    "ReproError",
+    "ResourceLimitError",
+    "SolverError",
+    "StepBudgetExceeded",
+    "StrategyError",
+    "SymbolicExecutionError",
+    # language
+    "Interpreter",
+    "NativeRegistry",
+    "Program",
+    "RunResult",
+    "parse_expression",
+    "parse_program",
+    # solver
+    "CongruenceClosure",
+    "FunctionSymbol",
+    "LiaSolver",
+    "Model",
+    "SatSolver",
+    "Solver",
+    "Sort",
+    "Term",
+    "TermManager",
+    "evaluate",
+    # validity
+    "AppValue",
+    "Sample",
+    "SampleRequest",
+    "Strategy",
+    "ValidityChecker",
+    "ValidityResult",
+    "ValidityStatus",
+    # concolic
+    "ConcolicEngine",
+    "ConcolicResult",
+    "ConcretizationMode",
+    "PathCondition",
+    # core
+    "HigherOrderBackend",
+    "MultiStepDriver",
+    "PostFormula",
+    "SampleStore",
+    "alternate_constraint",
+    "build_post",
+    "negatable_indices",
+    # search
+    "BranchCoverage",
+    "DirectedSearch",
+    "ErrorReport",
+    "ExistentialBackend",
+    "QuantifierFreeBackend",
+    "SearchConfig",
+    "SearchResult",
+    # baselines
+    "FuzzResult",
+    "RandomFuzzer",
+    "StaticTestGenerator",
+    "__version__",
+]

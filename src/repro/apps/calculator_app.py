@@ -1,0 +1,159 @@
+"""A staged command-language interpreter: lexing → parsing → evaluation.
+
+The paper's §7 motivates higher-order test generation with "applications
+with highly-structured inputs ... compilers and interpreters [that]
+process their inputs in stages".  This application is a complete such
+pipeline in miniature:
+
+- **stage 1 (lexing)**: two input words (fixed-width character codes) are
+  classified via the djb2 hash of each word against hard-recognized
+  command/register keyword hashes;
+- **stage 2 (parsing)**: the (command, register) token pair must form a
+  grammatical sentence;
+- **stage 3 (evaluation)**: a tiny register machine executes the command;
+  one command sequence reaches a division and can crash it.
+
+Reaching stage 3 requires synthesizing *two* keyword-shaped words in one
+input vector — a strictly harder target than the single-keyword lexer of
+:mod:`repro.apps.lexer_app`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..lang.parser import parse_program
+from .hashes import djb2, word_to_codes
+
+__all__ = ["CalculatorApp", "build_calculator_app", "COMMANDS", "REGISTERS"]
+
+#: command keywords (stage-1 vocabulary, word 1)
+COMMANDS: Tuple[str, ...] = ("load", "addi", "divi", "halt")
+#: register keywords (stage-1 vocabulary, word 2)
+REGISTERS: Tuple[str, ...] = ("ra", "rb")
+
+_WIDTH = 4
+
+
+@dataclass
+class CalculatorApp:
+    """A ready-to-test staged-interpreter bundle."""
+
+    program: Program
+    entry: str
+    width: int
+    input_names: Tuple[str, ...]
+
+    def fresh_natives(self) -> NativeRegistry:
+        registry = NativeRegistry()
+        registry.register(
+            "djb2", lambda *codes: djb2(codes) % 65521, arity=self.width
+        )
+        return registry
+
+    def initial_inputs(
+        self, command: str = "", register: str = "", operand: int = 0
+    ) -> Dict[str, int]:
+        cmd = word_to_codes(command, self.width)
+        reg = word_to_codes(register, self.width)
+        inputs = {f"w{i}": cmd[i] for i in range(self.width)}
+        inputs.update({f"v{i}": reg[i] for i in range(self.width)})
+        inputs["operand"] = operand
+        return inputs
+
+
+def _hash_init(words: Sequence[str], prefix: str) -> str:
+    lines = []
+    for word in words:
+        codes = word_to_codes(word, _WIDTH)
+        args = ", ".join(str(c) for c in codes)
+        lines.append(f"    int h_{prefix}_{word} = djb2({args});")
+    return "\n".join(lines)
+
+
+def build_calculator_app() -> CalculatorApp:
+    """Build the three-stage calculator program."""
+    w_chars = ", ".join(f"int w{i}" for i in range(_WIDTH))
+    v_chars = ", ".join(f"int v{i}" for i in range(_WIDTH))
+    w_args = ", ".join(f"w{i}" for i in range(_WIDTH))
+    v_args = ", ".join(f"v{i}" for i in range(_WIDTH))
+
+    cmd_branches = "\n".join(
+        f"""    if (hw == h_cmd_{cmd}) {{
+        cmd_token = {i + 1};
+    }}"""
+        for i, cmd in enumerate(COMMANDS)
+    )
+    reg_branches = "\n".join(
+        f"""    if (hv == h_reg_{reg}) {{
+        reg_token = {i + 1};
+    }}"""
+        for i, reg in enumerate(REGISTERS)
+    )
+
+    source = f"""
+// Auto-generated staged calculator interpreter
+// stage 1: lexing via djb2 keyword hashes
+// stage 2: grammar check (command requires a register operand)
+// stage 3: register-machine evaluation
+
+int lex_and_run({w_chars}, {v_chars}, int operand) {{
+{_hash_init(COMMANDS, "cmd")}
+{_hash_init(REGISTERS, "reg")}
+
+    // ---- stage 1: lexing ----
+    int hw = djb2({w_args});
+    int hv = djb2({v_args});
+    int cmd_token = 0;
+    int reg_token = 0;
+{cmd_branches}
+{reg_branches}
+
+    // ---- stage 2: parsing ----
+    if (cmd_token == 0) {{
+        return 0 - 1;           // unknown command word
+    }}
+    if (cmd_token == 4) {{
+        return 100;             // halt takes no operands
+    }}
+    if (reg_token == 0) {{
+        return 0 - 2;           // command requires a register
+    }}
+
+    // ---- stage 3: evaluation ----
+    int ra = 10;
+    int rb = 20;
+    if (cmd_token == 1) {{      // load reg, operand
+        if (reg_token == 1) {{ ra = operand; }} else {{ rb = operand; }}
+        return ra + rb;
+    }}
+    if (cmd_token == 2) {{      // addi reg, operand
+        if (reg_token == 1) {{ ra = ra + operand; }} else {{ rb = rb + operand; }}
+        return ra + rb;
+    }}
+    if (cmd_token == 3) {{      // divi reg, operand
+        if (operand == 0) {{
+            error("stage-3 bug: division by zero operand");
+        }}
+        if (reg_token == 1) {{ ra = ra / operand; }} else {{ rb = rb / operand; }}
+        return ra + rb;
+    }}
+    return 0;
+}}
+
+int main({w_chars}, {v_chars}, int operand) {{
+    return lex_and_run({w_args}, {v_args}, operand);
+}}
+"""
+    program = parse_program(source)
+    names = tuple(
+        [f"w{i}" for i in range(_WIDTH)]
+        + [f"v{i}" for i in range(_WIDTH)]
+        + ["operand"]
+    )
+    return CalculatorApp(
+        program=program, entry="main", width=_WIDTH, input_names=names
+    )

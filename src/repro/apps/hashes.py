@@ -1,0 +1,173 @@
+"""A zoo of hash functions, implemented from scratch.
+
+These play the role of the paper's "unknown functions": deterministic,
+pure, but far outside the constraint solver's theory.  The flex-style
+``hashfunct`` is a faithful port of the function in the paper's Figure 4
+(file ``sym.c`` of flex 2.5.35); the others are classic string hashes plus
+a CRC-32 implemented bit by bit.
+
+String-valued functions are exposed in two forms:
+
+- a Python form over byte sequences (used when building symbol tables),
+- a fixed-arity integer form over character codes (``*_w<N>``), because
+  MiniC models words as ``N`` integer inputs and uninterpreted functions
+  have fixed arity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..lang.natives import NativeRegistry
+
+__all__ = [
+    "flex_hash",
+    "djb2",
+    "fnv1a",
+    "sdbm",
+    "crc32",
+    "toy_block_cipher",
+    "word_to_codes",
+    "codes_to_word",
+    "register_word_hash",
+    "standard_registry",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def flex_hash(word: Sequence[int], table_size: int) -> int:
+    """The flex scanner's ``hashfunct`` (paper Figure 4).
+
+    ::
+
+        hash_val = 0;
+        while (*str) { hash_val = hash_val << 1 + *str++; ... }
+        return hash_val % table_size
+
+    (The historical flex code relies on C precedence: ``<< (1 + c)``; most
+    reimplementations use ``(hash << 1) + c``, which we follow — the point
+    is only that the function is opaque to symbolic reasoning.)
+    """
+    value = 0
+    for code in word:
+        if code == 0:
+            break
+        value = ((value << 1) + code) & _MASK32
+    return value % table_size
+
+
+def djb2(word: Sequence[int]) -> int:
+    """Bernstein's classic ``hash * 33 + c`` string hash."""
+    value = 5381
+    for code in word:
+        if code == 0:
+            break
+        value = ((value * 33) + code) & _MASK32
+    return value
+
+
+def fnv1a(word: Sequence[int]) -> int:
+    """32-bit FNV-1a."""
+    value = 0x811C9DC5
+    for code in word:
+        if code == 0:
+            break
+        value = ((value ^ (code & 0xFF)) * 0x01000193) & _MASK32
+    return value
+
+
+def sdbm(word: Sequence[int]) -> int:
+    """The sdbm database library's string hash."""
+    value = 0
+    for code in word:
+        if code == 0:
+            break
+        value = (code + (value << 6) + (value << 16) - value) & _MASK32
+    return value
+
+
+_CRC_POLY = 0xEDB88320
+
+
+def crc32(word: Sequence[int]) -> int:
+    """CRC-32 (IEEE 802.3), computed bit by bit — no lookup tables."""
+    crc = _MASK32
+    for code in word:
+        if code == 0:
+            break
+        crc ^= code & 0xFF
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC_POLY
+            else:
+                crc >>= 1
+    return crc ^ _MASK32
+
+
+def toy_block_cipher(block: int, key: int) -> int:
+    """A 32-bit toy Feistel-ish mixer: "crypto" the solver cannot see into."""
+    left = (block >> 16) & 0xFFFF
+    right = block & 0xFFFF
+    k = key & _MASK32
+    for round_index in range(4):
+        rk = (k >> (8 * (round_index % 4))) & 0xFFFF
+        f = ((right * 2654435761) ^ rk) & 0xFFFF
+        left, right = right, left ^ f
+    return ((left << 16) | right) & _MASK32
+
+
+# ----------------------------------------------------------------- word codecs
+
+
+def word_to_codes(word: str, width: int) -> Tuple[int, ...]:
+    """Encode a string as a fixed-width tuple of char codes, 0-padded."""
+    if len(word) > width:
+        raise ValueError(f"word {word!r} longer than width {width}")
+    codes = [ord(c) for c in word]
+    codes.extend([0] * (width - len(codes)))
+    return tuple(codes)
+
+
+def codes_to_word(codes: Iterable[int]) -> str:
+    """Decode a 0-padded code tuple back into a string (stop at 0)."""
+    out = []
+    for code in codes:
+        if code == 0:
+            break
+        out.append(chr(code) if 32 <= code < 127 else "?")
+    return "".join(out)
+
+
+# -------------------------------------------------------------- registry helpers
+
+
+def register_word_hash(
+    registry: NativeRegistry,
+    name: str,
+    fn: Callable[[Sequence[int]], int],
+    width: int,
+) -> None:
+    """Register a word hash as a fixed-arity native over ``width`` codes."""
+
+    def native(*codes: int) -> int:
+        return fn(codes)
+
+    registry.register(name, native, arity=width)
+
+
+def standard_registry(width: int = 4, table_size: int = 1 << 14) -> NativeRegistry:
+    """A registry with the whole zoo, word hashes at the given width."""
+    registry = NativeRegistry()
+    registry.register(
+        "flex_hash",
+        lambda *codes: flex_hash(codes, table_size),
+        arity=width,
+    )
+    register_word_hash(registry, "djb2", djb2, width)
+    register_word_hash(registry, "fnv1a", fnv1a, width)
+    register_word_hash(registry, "sdbm", sdbm, width)
+    register_word_hash(registry, "crc32", crc32, width)
+    registry.register("cipher", toy_block_cipher, arity=2)
+    registry.register("hash", lambda y: (y * 2654435761 + 12345) % 65521, arity=1)
+    return registry

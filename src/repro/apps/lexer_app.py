@@ -1,0 +1,353 @@
+"""The paper's Section 7 application: a lexer using a hash for keywords.
+
+Compilers and interpreters recognize keywords by comparing the hash of an
+input chunk against pre-computed keyword hashes (the flex code of the
+paper's Figure 4).  This defeats ordinary concolic testing — a hash cannot
+be inverted by a constraint solver — so test generation never reaches the
+parser stages behind the lexer.  Higher-order test generation inverts the
+hash *through its recorded samples*: during initialization the program
+hashes every keyword, each call records a sample, and the theory of
+equality plus those samples lets the validity engine produce input chunks
+that hash to any keyword's value.
+
+Two program variants are provided:
+
+- :func:`build_lexer_program` — keyword recognition via hash-value
+  comparisons (``if (hv == h_kw) ...``), the pattern §7 targets, plus a
+  character-verification (strcmp-like) guard and a parser stage with deep
+  branches and a buried bug;
+- :func:`build_table_lexer_program` — the literal Figure 4 shape with a
+  symbol *table* indexed by the hash value.  Indexing an array at a
+  symbolic position is store-dependent and concretized even in
+  higher-order mode, so this variant measures how much of §7's benefit
+  survives when the lookup itself is opaque (an ablation the paper's
+  prose anticipates in §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..lang.parser import parse_program
+from .hashes import flex_hash, word_to_codes
+
+__all__ = [
+    "DEFAULT_KEYWORDS",
+    "LexerApp",
+    "build_lexer_program",
+    "build_hardcoded_lexer_program",
+    "build_table_lexer_program",
+    "keyword_hashes",
+]
+
+#: keywords of the toy command language (all fit the default width of 4)
+DEFAULT_KEYWORDS: Tuple[str, ...] = (
+    "if", "for", "int", "set", "and", "or", "not", "ret", "end",
+)
+
+#: token ids: 0 = identifier, keywords from 1
+TOK_IDENT = 0
+
+
+def keyword_hashes(
+    keywords: Sequence[str], width: int, table_size: int
+) -> Dict[str, int]:
+    """Concrete flex-hash value of each keyword (for oracle checks)."""
+    return {
+        kw: flex_hash(word_to_codes(kw, width), table_size) for kw in keywords
+    }
+
+
+@dataclass
+class LexerApp:
+    """A ready-to-test lexer application bundle."""
+
+    program: Program
+    natives: NativeRegistry
+    entry: str
+    width: int
+    keywords: Tuple[str, ...]
+    table_size: int
+    #: inputs: character-code variables plus the parser argument
+    input_names: Tuple[str, ...]
+
+    def initial_inputs(self, word: str = "", arg: int = 0) -> Dict[str, int]:
+        codes = word_to_codes(word, self.width)
+        inputs = {f"c{i}": codes[i] for i in range(self.width)}
+        inputs["arg"] = arg
+        return inputs
+
+    def fresh_natives(self) -> NativeRegistry:
+        """A new registry with the same hash (clean call log)."""
+        registry = NativeRegistry()
+        registry.register(
+            "flex_hash",
+            lambda *codes: flex_hash(codes, self.table_size),
+            arity=self.width,
+        )
+        return registry
+
+
+def _char_list(width: int) -> str:
+    return ", ".join(f"int c{i}" for i in range(width))
+
+
+def _char_args(width: int) -> str:
+    return ", ".join(f"c{i}" for i in range(width))
+
+
+def _init_hashes(keywords: Sequence[str], width: int) -> str:
+    """MiniC statements computing each keyword's hash at startup.
+
+    Each call hashes constant character codes: concretely executed, and —
+    crucially — *sampled* by the concolic machine, populating the IOF
+    table exactly as §7 prescribes.
+    """
+    lines = []
+    for idx, kw in enumerate(keywords):
+        codes = word_to_codes(kw, width)
+        args = ", ".join(str(c) for c in codes)
+        lines.append(f"    int h_{kw} = flex_hash({args});")
+    return "\n".join(lines)
+
+
+def build_lexer_program(
+    keywords: Sequence[str] = DEFAULT_KEYWORDS,
+    width: int = 4,
+    table_size: int = 1 << 14,
+) -> LexerApp:
+    """The §7 lexer: keyword recognition by hash comparison + char check.
+
+    Program structure::
+
+        findsym: hash the chunk, compare against each keyword hash;
+                 on a hash match, verify the characters (collision guard)
+        main:    token = findsym(chunk);
+                 parser stage: dispatch on token with nested conditions;
+                 a bug sits behind token == 'ret' && arg == 99
+    """
+    for kw in keywords:
+        if len(kw) > width:
+            raise ValueError(f"keyword {kw!r} exceeds width {width}")
+    chars = _char_list(width)
+    args = _char_args(width)
+
+    find_branches = []
+    for idx, kw in enumerate(keywords):
+        codes = word_to_codes(kw, width)
+        verify = " && ".join(
+            f"c{i} == {codes[i]}" for i in range(width)
+        )
+        find_branches.append(
+            f"""    if (hv == h_{kw}) {{
+        // strcmp-style verification guards against hash collisions
+        if ({verify}) {{
+            return {idx + 1};
+        }}
+    }}"""
+        )
+    find_body = "\n".join(find_branches)
+
+    tok_of = {kw: i + 1 for i, kw in enumerate(keywords)}
+    source = f"""
+// Auto-generated Section-7 lexer application
+// keywords: {", ".join(keywords)} (width {width}, table size {table_size})
+
+int findsym({chars}) {{
+{_init_hashes(keywords, width)}
+    int hv = flex_hash({args});
+{find_body}
+    return {TOK_IDENT};
+}}
+
+int parse_stage(int token, int arg) {{
+    int state = 0;
+    if (token == {tok_of.get("set", 0)}) {{
+        state = arg + 1;
+        if (state > 100) {{
+            return 2;
+        }}
+        return 1;
+    }}
+    if (token == {tok_of.get("if", 0)}) {{
+        if (arg < 0) {{
+            return 3;
+        }}
+        return 4;
+    }}
+    if (token == {tok_of.get("and", 0)} || token == {tok_of.get("or", 0)}) {{
+        if (arg == 0) {{
+            return 5;
+        }}
+        return 6;
+    }}
+    if (token == {tok_of.get("ret", 0)}) {{
+        if (arg == 99) {{
+            error("bug buried behind the lexer");
+        }}
+        return 7;
+    }}
+    if (token == {tok_of.get("end", 0)}) {{
+        return 8;
+    }}
+    return 0;
+}}
+
+int main({chars}, int arg) {{
+    int token = findsym({args});
+    int outcome = parse_stage(token, arg);
+    return outcome;
+}}
+"""
+    program = parse_program(source)
+    registry = NativeRegistry()
+    registry.register(
+        "flex_hash", lambda *codes: flex_hash(codes, table_size), arity=width
+    )
+    return LexerApp(
+        program=program,
+        natives=registry,
+        entry="main",
+        width=width,
+        keywords=tuple(keywords),
+        table_size=table_size,
+        input_names=tuple([f"c{i}" for i in range(width)] + ["arg"]),
+    )
+
+
+def build_hardcoded_lexer_program(
+    keywords: Sequence[str] = DEFAULT_KEYWORDS,
+    width: int = 4,
+    table_size: int = 1 << 14,
+) -> LexerApp:
+    """§7 last paragraph: keyword hash values *hard-coded* in the source.
+
+    The program never calls the hash on the keywords itself, so a single
+    execution observes no keyword samples and higher-order generation
+    starts blind.  The paper's remedy — "learn pairs over time by starting
+    the testing session with a representative set of well-formed inputs" —
+    is exactly the cross-run learning experiment: priming the
+    :class:`~repro.core.SampleStore` from a keyword corpus restores the
+    inversion power.
+    """
+    for kw in keywords:
+        if len(kw) > width:
+            raise ValueError(f"keyword {kw!r} exceeds width {width}")
+    chars = _char_list(width)
+    args = _char_args(width)
+    hashes = keyword_hashes(keywords, width, table_size)
+
+    find_branches = []
+    for idx, kw in enumerate(keywords):
+        codes = word_to_codes(kw, width)
+        verify = " && ".join(f"c{i} == {codes[i]}" for i in range(width))
+        find_branches.append(
+            f"""    if (hv == {hashes[kw]}) {{
+        if ({verify}) {{
+            return {idx + 1};
+        }}
+    }}"""
+        )
+    find_body = "\n".join(find_branches)
+    tok_of = {kw: i + 1 for i, kw in enumerate(keywords)}
+
+    source = f"""
+// Auto-generated hard-coded-hash lexer (paper §7, last paragraph)
+int findsym({chars}) {{
+    int hv = flex_hash({args});
+{find_body}
+    return {TOK_IDENT};
+}}
+
+int main({chars}, int arg) {{
+    int token = findsym({args});
+    if (token == {tok_of.get("ret", 0)}) {{
+        if (arg == 99) {{
+            error("bug behind hard-coded hashes");
+        }}
+        return 7;
+    }}
+    if (token == {tok_of.get("set", 0)}) {{
+        return 1;
+    }}
+    return 0;
+}}
+"""
+    program = parse_program(source)
+    registry = NativeRegistry()
+    registry.register(
+        "flex_hash", lambda *codes: flex_hash(codes, table_size), arity=width
+    )
+    return LexerApp(
+        program=program,
+        natives=registry,
+        entry="main",
+        width=width,
+        keywords=tuple(keywords),
+        table_size=table_size,
+        input_names=tuple([f"c{i}" for i in range(width)] + ["arg"]),
+    )
+
+
+def build_table_lexer_program(
+    keywords: Sequence[str] = DEFAULT_KEYWORDS,
+    width: int = 4,
+    table_size: int = 64,
+) -> LexerApp:
+    """The literal Figure-4 shape: a symbol table indexed by the hash.
+
+    ``addsym`` populates ``table[hash(kw)] = token`` at startup; ``findsym``
+    reads ``table[hash(chunk)]``.  The symbolic-index read is concretized
+    (with pins) in every mode, so this variant quantifies the limits of
+    automatic hash inversion when the lookup is an opaque store operation.
+    """
+    for kw in keywords:
+        if len(kw) > width:
+            raise ValueError(f"keyword {kw!r} exceeds width {width}")
+    chars = _char_list(width)
+    args = _char_args(width)
+
+    add_lines = []
+    for idx, kw in enumerate(keywords):
+        codes = word_to_codes(kw, width)
+        call = ", ".join(str(c) for c in codes)
+        add_lines.append(f"    table[flex_hash({call})] = {idx + 1};")
+    adds = "\n".join(add_lines)
+
+    tok_of = {kw: i + 1 for i, kw in enumerate(keywords)}
+    source = f"""
+// Auto-generated Figure-4-style symbol-table lexer
+int main({chars}, int arg) {{
+    int table[{table_size}];
+{adds}
+    int hv = flex_hash({args});
+    int token = table[hv];
+    if (token == {tok_of.get("ret", 0)}) {{
+        if (arg == 99) {{
+            error("bug behind the table lexer");
+        }}
+        return 7;
+    }}
+    if (token == {tok_of.get("set", 0)}) {{
+        return 1;
+    }}
+    return 0;
+}}
+"""
+    program = parse_program(source)
+    registry = NativeRegistry()
+    registry.register(
+        "flex_hash", lambda *codes: flex_hash(codes, table_size), arity=width
+    )
+    return LexerApp(
+        program=program,
+        natives=registry,
+        entry="main",
+        width=width,
+        keywords=tuple(keywords),
+        table_size=table_size,
+        input_names=tuple([f"c{i}" for i in range(width)] + ["arg"]),
+    )

@@ -1,0 +1,162 @@
+"""Checksum-guarded packet parser: the whitebox-fuzzing motivation.
+
+The paper's lineage (SAGE [16], the Windows/Linux security-bug results
+cited in §1) is about file and packet parsers whose early stages reject
+malformed inputs via checksums — precisely the "unknown function"
+imprecision HOTG addresses.  This application is a small packet protocol:
+
+    packet = [kind, a, b, checksum]
+    valid  ⟺  checksum == crc(kind, a, b)
+
+Only valid packets reach the command dispatcher, where a bug hides behind
+one command.  Forging the checksum requires *two-step* generation: the
+strategy "set checksum := crc(kind₀,a₀,b₀)" references a CRC point never
+sampled, so an intermediate run must evaluate it first — multi-step test
+generation on a realistic shape.
+
+A MAC-guarded variant (:func:`build_auth_app`) uses the toy block cipher
+with a secret key baked into the program: the tag strategy is
+``tag := cipher(message, SECRET)`` where SECRET never appears in any
+constraint the solver can read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..lang.parser import parse_program
+from .hashes import crc32, toy_block_cipher
+
+__all__ = ["ProtocolApp", "build_protocol_app", "build_auth_app"]
+
+#: command kinds of the toy protocol
+CMD_PING = 1
+CMD_READ = 2
+CMD_WRITE = 3
+CMD_RESET = 9
+
+
+@dataclass
+class ProtocolApp:
+    """A ready-to-test protocol/auth application bundle."""
+
+    program: Program
+    entry: str
+    input_names: Tuple[str, ...]
+    make_natives: object  # zero-arg callable producing a fresh registry
+
+    def fresh_natives(self) -> NativeRegistry:
+        return self.make_natives()  # type: ignore[operator]
+
+    def initial_inputs(self, **overrides: int) -> Dict[str, int]:
+        inputs = {name: 0 for name in self.input_names}
+        inputs.update(overrides)
+        return inputs
+
+
+_PROTOCOL_SRC = """
+// Checksum-guarded packet dispatcher.
+int dispatch(int kind, int a, int b) {
+    if (kind == 1) {            // PING
+        return 1;
+    }
+    if (kind == 2) {            // READ
+        if (a < 0) {
+            return 0 - 1;       // reject negative addresses
+        }
+        return 2;
+    }
+    if (kind == 3) {            // WRITE
+        if (a == b) {
+            error("write bug: aliasing addresses");
+        }
+        return 3;
+    }
+    if (kind == 9) {            // RESET
+        if (a == 4242) {
+            error("reset bug: magic argument");
+        }
+        return 9;
+    }
+    return 0;
+}
+
+int main(int kind, int a, int b, int checksum) {
+    int expected = crc(kind, a, b);
+    if (checksum != expected) {
+        return 0 - 1;           // malformed packet: rejected early
+    }
+    return dispatch(kind, a, b);
+}
+"""
+
+
+def build_protocol_app() -> ProtocolApp:
+    """The CRC-guarded packet parser (bug behind kind=9, a=4242)."""
+
+    def make_natives() -> NativeRegistry:
+        registry = NativeRegistry()
+        registry.register(
+            "crc",
+            lambda kind, a, b: crc32(
+                [
+                    (kind & 0xFF) or 1,
+                    (a & 0xFF) or 1,
+                    (b & 0xFF) or 1,
+                ]
+            )
+            % 65521,
+            arity=3,
+        )
+        return registry
+
+    return ProtocolApp(
+        program=parse_program(_PROTOCOL_SRC),
+        entry="main",
+        input_names=("kind", "a", "b", "checksum"),
+        make_natives=make_natives,
+    )
+
+
+_AUTH_SRC = """
+// MAC-guarded command executor: the key never leaves the cipher call.
+int main(int message, int tag, int action) {
+    int expected = mac(message);
+    if (tag != expected) {
+        return 0 - 1;           // authentication failure
+    }
+    if (message == 7777) {
+        if (action == 3) {
+            error("privileged action behind valid MAC");
+        }
+        return 2;
+    }
+    return 1;
+}
+"""
+
+#: the secret key baked into the MAC; the solver never sees it
+AUTH_SECRET_KEY = 0xC0FFEE
+
+
+def build_auth_app() -> ProtocolApp:
+    """The MAC-guarded executor (bug needs a valid tag for message 7777)."""
+
+    def make_natives() -> NativeRegistry:
+        registry = NativeRegistry()
+        registry.register(
+            "mac",
+            lambda message: toy_block_cipher(message & 0xFFFFFFFF, AUTH_SECRET_KEY),
+            arity=1,
+        )
+        return registry
+
+    return ProtocolApp(
+        program=parse_program(_AUTH_SRC),
+        entry="main",
+        input_names=("message", "tag", "action"),
+        make_natives=make_natives,
+    )

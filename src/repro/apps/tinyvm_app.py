@@ -1,0 +1,143 @@
+"""TinyVM: a checksum-guarded bytecode interpreter.
+
+The most complete application in the suite, combining every imprecision
+shape the paper discusses:
+
+- the six-byte program is integrity-checked against a CRC over all six
+  opcode inputs (a 6-ary unknown function to forge);
+- the VM loop reads opcodes from an *array* (concrete index, symbolic
+  content — the sound case of array handling);
+- the dispatcher compares symbolic opcodes against instruction numbers,
+  giving deep equality chains;
+- one instruction (``CHECK``) hides an error behind an accumulator value
+  that only a specific instruction *sequence* produces.
+
+Finding the bug therefore requires simultaneously: a valid checksum
+(multi-step CRC forging), a syntactically meaningful opcode sequence, and
+a data value steering the accumulator — none of which random testing or
+plain concolic testing achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..lang.parser import parse_program
+from .hashes import crc32
+
+__all__ = ["TinyVmApp", "build_tinyvm_app", "OPCODES"]
+
+#: instruction set: mnemonic -> opcode number
+OPCODES: Dict[str, int] = {
+    "HALT": 0,
+    "ADD_ARG": 1,   # acc += arg
+    "DOUBLE": 2,    # acc *= 2
+    "DEC": 3,       # acc -= 1
+    "CHECK": 4,     # if acc == 13: error
+    "CLEAR": 5,     # acc = 0
+}
+
+_CODE_LEN = 6
+
+_SRC = f"""
+// TinyVM: CRC-guarded bytecode interpreter ({_CODE_LEN}-byte programs)
+int run_vm(int op0, int op1, int op2, int op3, int op4, int op5, int arg) {{
+    int code[{_CODE_LEN}];
+    code[0] = op0;
+    code[1] = op1;
+    code[2] = op2;
+    code[3] = op3;
+    code[4] = op4;
+    code[5] = op5;
+
+    int acc = 0;
+    int pc = 0;
+    while (pc < {_CODE_LEN}) {{
+        int instr = code[pc];
+        if (instr == 0) {{          // HALT
+            return acc;
+        }}
+        if (instr == 1) {{          // ADD_ARG
+            acc = acc + arg;
+        }}
+        if (instr == 2) {{          // DOUBLE
+            acc = acc * 2;
+        }}
+        if (instr == 3) {{          // DEC
+            acc = acc - 1;
+        }}
+        if (instr == 4) {{          // CHECK
+            if (acc == 13) {{
+                error("vm bug: accumulator reached the magic value");
+            }}
+        }}
+        if (instr == 5) {{          // CLEAR
+            acc = 0;
+        }}
+        pc = pc + 1;
+    }}
+    return acc;
+}}
+
+int main(int op0, int op1, int op2, int op3, int op4, int op5,
+         int arg, int checksum) {{
+    int expected = vmcrc(op0, op1, op2, op3, op4, op5);
+    if (checksum != expected) {{
+        return 0 - 1;               // corrupted bytecode: rejected
+    }}
+    return run_vm(op0, op1, op2, op3, op4, op5, arg);
+}}
+"""
+
+
+@dataclass
+class TinyVmApp:
+    """A ready-to-test TinyVM bundle."""
+
+    program: Program
+    entry: str
+    code_len: int
+    input_names: Tuple[str, ...]
+
+    def fresh_natives(self) -> NativeRegistry:
+        registry = NativeRegistry()
+        registry.register(
+            "vmcrc",
+            lambda *ops: crc32([(o & 0xFF) + 1 for o in ops]) % 65521,
+            arity=self.code_len,
+        )
+        return registry
+
+    def checksum_of(self, opcodes: Sequence[int]) -> int:
+        """The valid checksum for an opcode sequence (oracle helper)."""
+        return self.fresh_natives().lookup("vmcrc")(*opcodes)
+
+    def initial_inputs(
+        self, opcodes: Sequence[int] = (), arg: int = 0, checksum: int = 0
+    ) -> Dict[str, int]:
+        ops = list(opcodes) + [0] * (self.code_len - len(opcodes))
+        inputs = {f"op{i}": ops[i] for i in range(self.code_len)}
+        inputs["arg"] = arg
+        inputs["checksum"] = checksum
+        return inputs
+
+    def valid_inputs(
+        self, opcodes: Sequence[int], arg: int = 0
+    ) -> Dict[str, int]:
+        """Inputs carrying a correct checksum (for concrete testing)."""
+        ops = list(opcodes) + [0] * (self.code_len - len(opcodes))
+        return self.initial_inputs(ops, arg, self.checksum_of(ops))
+
+
+def build_tinyvm_app() -> TinyVmApp:
+    """Build the TinyVM application."""
+    program = parse_program(_SRC)
+    names = tuple(
+        [f"op{i}" for i in range(_CODE_LEN)] + ["arg", "checksum"]
+    )
+    return TinyVmApp(
+        program=program, entry="main", code_len=_CODE_LEN, input_names=names
+    )

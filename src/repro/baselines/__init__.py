@@ -1,0 +1,6 @@
+"""Baseline test-generation techniques the paper compares against."""
+
+from .random_fuzz import FuzzResult, RandomFuzzer
+from .static_testgen import StaticTestGenerator
+
+__all__ = ["FuzzResult", "RandomFuzzer", "StaticTestGenerator"]

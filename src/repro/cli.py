@@ -1,0 +1,221 @@
+"""Command-line interface: test a MiniC program from the shell.
+
+Usage::
+
+    python -m repro run program.minic --entry main --seed x=1,y=2
+    python -m repro run program.minic --mode unsound --max-runs 50
+    python -m repro fuzz program.minic --runs 500 --range -100:100
+    python -m repro modes program.minic --seed x=1,y=2   # compare engines
+
+Native (unknown) functions available to CLI-tested programs are the hash
+zoo of :mod:`repro.apps.hashes` (``hash``, ``djb2``, ``fnv1a``, ``sdbm``,
+``crc32``, ``flex_hash``, ``cipher``) — the same functions the paper's
+experiments use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .apps.hashes import standard_registry
+from .baselines import RandomFuzzer
+from .errors import ReproError
+from .lang import NativeRegistry, parse_program
+from .search import DirectedSearch, SearchConfig
+from .search.corpus import TestCorpus
+from .symbolic import ConcretizationMode
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_seed(text: str) -> Dict[str, int]:
+    """Parse ``x=1,y=-2`` into an input dict."""
+    out: Dict[str, int] = {}
+    if not text:
+        return out
+    for piece in text.split(","):
+        if "=" not in piece:
+            raise ReproError(f"bad seed assignment {piece!r} (want name=int)")
+        name, _, value = piece.partition("=")
+        out[name.strip()] = int(value.strip())
+    return out
+
+
+def _parse_range(text: str):
+    lo, _, hi = text.partition(":")
+    return int(lo), int(hi)
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return parse_program(source)
+
+
+def _natives() -> NativeRegistry:
+    return standard_registry(width=4)
+
+
+def _default_entry(program, requested: Optional[str]) -> str:
+    if requested:
+        return requested
+    if "main" in program.functions:
+        return "main"
+    return next(iter(program.functions))
+
+
+def _seed_for(program, entry: str, seed: Dict[str, int]) -> Dict[str, int]:
+    params = program.function(entry).params
+    return {p: seed.get(p, 0) for p in params}
+
+
+def cmd_run(args) -> int:
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    seed = _seed_for(program, entry, _parse_seed(args.seed))
+    mode = ConcretizationMode(args.mode)
+    search = DirectedSearch.for_mode(
+        program, entry, _natives(), mode,
+        SearchConfig(max_runs=args.max_runs, frontier=args.frontier),
+    )
+    result = search.run(seed)
+    print(f"[{mode.value}] {result.summary()}")
+    for error in result.errors:
+        print(f"  {error}")
+    if args.corpus:
+        corpus = TestCorpus()
+        corpus.add_from_search(result)
+        corpus.save(args.corpus)
+        print(f"  corpus: {len(corpus)} tests saved to {args.corpus}")
+    if args.report:
+        from .search.report import render_report
+
+        text = render_report(
+            result, program, entry, mode=mode.value, store=search.store,
+            title=f"Testing session: {os.path.basename(args.program)}",
+        )
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"  report written to {args.report}")
+    return 1 if (args.expect_error and not result.found_error) else 0
+
+
+def cmd_fuzz(args) -> int:
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    fuzzer = RandomFuzzer(
+        program, entry, _natives(),
+        default_range=_parse_range(args.range),
+        seed=args.rng_seed,
+    )
+    result = fuzzer.run(max_runs=args.runs)
+    print(f"[random] {result.summary()}")
+    for error in result.errors[:10]:
+        print(f"  {error}")
+    return 0
+
+
+def cmd_modes(args) -> int:
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    seed = _seed_for(program, entry, _parse_seed(args.seed))
+    for mode in ConcretizationMode:
+        search = DirectedSearch.for_mode(
+            program, entry, _natives(), mode,
+            SearchConfig(max_runs=args.max_runs),
+        )
+        result = search.run(dict(seed))
+        print(f"{mode.value:14s} {result.summary()}")
+        for error in result.errors:
+            print(f"    {error}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    corpus = TestCorpus.load(args.corpus)
+    report = corpus.replay(program, entry, _natives())
+    print(f"[replay] {report.summary()}")
+    for entry_obj, returned, error in report.mismatches[:10]:
+        print(
+            f"  drift: inputs {entry_obj.input_dict()} now -> "
+            f"returned={returned} error={error}"
+        )
+    return 0 if report.all_match else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Higher-order test generation for MiniC programs "
+            "(reproduction of Godefroid, PLDI 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="directed search with one engine")
+    run.add_argument("program", help="MiniC source file")
+    run.add_argument("--entry", default=None, help="entry function (default: main)")
+    run.add_argument("--seed", default="", help="seed inputs, e.g. x=1,y=2")
+    run.add_argument(
+        "--mode",
+        default="higher_order",
+        choices=[m.value for m in ConcretizationMode],
+    )
+    run.add_argument("--max-runs", type=int, default=100)
+    run.add_argument(
+        "--frontier", default="fifo", choices=["fifo", "coverage"]
+    )
+    run.add_argument("--corpus", default=None, help="save generated tests to JSON")
+    run.add_argument("--report", default=None, help="write a markdown session report")
+    run.add_argument(
+        "--expect-error",
+        action="store_true",
+        help="exit non-zero when no error is found (for CI scripts)",
+    )
+    run.set_defaults(fn=cmd_run)
+
+    fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
+    fuzz.add_argument("program")
+    fuzz.add_argument("--entry", default=None)
+    fuzz.add_argument("--runs", type=int, default=500)
+    fuzz.add_argument("--range", default="-1000:1000", help="lo:hi input range")
+    fuzz.add_argument("--rng-seed", type=int, default=0)
+    fuzz.set_defaults(fn=cmd_fuzz)
+
+    modes = sub.add_parser("modes", help="compare all four engines")
+    modes.add_argument("program")
+    modes.add_argument("--entry", default=None)
+    modes.add_argument("--seed", default="")
+    modes.add_argument("--max-runs", type=int, default=100)
+    modes.set_defaults(fn=cmd_modes)
+
+    replay = sub.add_parser("replay", help="replay a saved test corpus")
+    replay.add_argument("program")
+    replay.add_argument("corpus", help="corpus JSON file")
+    replay.add_argument("--entry", default=None)
+    replay.set_defaults(fn=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Higher-order test generation: samples, POST formulas, multi-step driver."""
+
+from .samples import SampleStore
+from .post import (
+    PostFormula,
+    alternate_constraint,
+    build_post,
+    negatable_indices,
+)
+from .hotg import HigherOrderBackend, MultiStepDriver, ProbeOutcome
+from .summaries import (
+    CompositionalReachability,
+    FunctionSummary,
+    SummaryCase,
+    SummaryExtractor,
+)
+
+__all__ = [
+    "CompositionalReachability",
+    "FunctionSummary",
+    "SummaryCase",
+    "SummaryExtractor",
+    "SampleStore",
+    "PostFormula",
+    "alternate_constraint",
+    "build_post",
+    "negatable_indices",
+    "HigherOrderBackend",
+    "MultiStepDriver",
+    "ProbeOutcome",
+]

@@ -1,0 +1,203 @@
+"""Higher-order test generation: the paper's core contribution (Section 4).
+
+:class:`HigherOrderBackend` derives new tests from *validity proofs* of
+``POST(ALT(pc)) = ∃X : A ⇒ ALT(pc)`` with universally quantified UF
+symbols, where ``A`` is the antecedent of recorded IOF samples.  A validity
+proof yields a :class:`~repro.solver.validity.Strategy`; interpreting the
+strategy may require *learning new samples* by running intermediate tests —
+the paper's multi-step test generation (Example 7), implemented by
+:class:`MultiStepDriver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import StrategyError
+from ..solver.terms import Term, TermManager
+from ..solver.validity import (
+    AppValue,
+    Sample,
+    SampleRequest,
+    Strategy,
+    ValidityChecker,
+    ValidityResult,
+    ValidityStatus,
+)
+from ..search.request import GeneratedTest, GenerationRequest
+from .post import alternate_constraint, build_post
+from .samples import SampleStore
+
+__all__ = ["HigherOrderBackend", "MultiStepDriver", "ProbeOutcome"]
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of one intermediate (probe) run in multi-step generation."""
+
+    inputs: Dict[str, int]
+    new_samples: int
+    resolved: bool
+
+
+class MultiStepDriver:
+    """Resolves pending sample requests by running intermediate tests.
+
+    The paper's Example 7: the strategy "set y := 10, set x := h(10)" is
+    derived from a validity proof, but h(10) has never been sampled.  An
+    intermediate test (with y = 10 and x arbitrary) is run so the program
+    itself evaluates h at 10; the recorded sample then completes the
+    strategy.
+
+    ``probe_runner`` is a callback ``inputs -> None`` that executes the
+    program concolically and merges the observed samples into ``store``
+    (the directed search supplies it).
+    """
+
+    def __init__(
+        self,
+        store: SampleStore,
+        probe_runner: Callable[[Dict[str, int]], None],
+        max_steps: int = 4,
+    ) -> None:
+        self.store = store
+        self.probe_runner = probe_runner
+        self.max_steps = max_steps
+        self.probes: List[ProbeOutcome] = []
+
+    def resolve(
+        self, strategy: Strategy, defaults: Dict[str, int]
+    ) -> Optional[Dict[str, int]]:
+        """Concretize ``strategy``, probing for missing samples as needed.
+
+        Returns the final input vector, or None when the pending samples
+        could not be learned within ``max_steps`` probe runs.
+        """
+        for _ in range(self.max_steps + 1):
+            pending = strategy.pending(self.store.samples())
+            if not pending:
+                return strategy.concretize(self.store.samples())
+            if len(self.probes) >= self.max_steps:
+                return None
+            probe_inputs = self._probe_inputs(strategy, defaults)
+            before = len(self.store)
+            self.probe_runner(probe_inputs)
+            outcome = ProbeOutcome(
+                inputs=probe_inputs,
+                new_samples=len(self.store) - before,
+                resolved=not strategy.pending(self.store.samples()),
+            )
+            self.probes.append(outcome)
+            if outcome.new_samples == 0:
+                # the probe taught us nothing; a further identical probe
+                # would not either
+                return None
+        return None
+
+    def _probe_inputs(
+        self, strategy: Strategy, defaults: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Inputs for an intermediate run: keep the strategy's concrete
+        assignments (they steer execution towards the needed call sites),
+        fill unresolved ones with the previous run's values."""
+        inputs: Dict[str, int] = {}
+        table = self.store.as_table()
+        for name, value in strategy.assignments.items():
+            if isinstance(value, AppValue):
+                known = value.resolve(table)
+                inputs[name] = known if known is not None else defaults.get(name, 0)
+            else:
+                inputs[name] = value
+        return inputs
+
+
+class HigherOrderBackend:
+    """Test generation from validity proofs (paper Figure 3 + Section 4.2).
+
+    Parameters
+    ----------
+    manager:
+        Shared term manager (same one the concolic engine uses).
+    store:
+        The session's IOF :class:`SampleStore`.
+    probe_runner:
+        Callback executing the program on given inputs and merging the
+        resulting samples into ``store`` — enables multi-step generation.
+    use_antecedent:
+        Include recorded samples as the antecedent ``A`` (switchable for
+        the Example 4 / ablation experiments).
+    max_steps:
+        Budget of intermediate runs per generated test.
+    """
+
+    name = "higher-order"
+
+    def __init__(
+        self,
+        manager: TermManager,
+        store: SampleStore,
+        probe_runner: Optional[Callable[[Dict[str, int]], None]] = None,
+        use_antecedent: bool = True,
+        max_steps: int = 4,
+        max_candidates: int = 24,
+    ) -> None:
+        self.tm = manager
+        self.store = store
+        self.probe_runner = probe_runner
+        self.use_antecedent = use_antecedent
+        self.max_steps = max_steps
+        self.max_candidates = max_candidates
+        self.solver_calls = 0
+        #: per-request validity verdicts, for experiment reporting
+        self.verdicts: List[ValidityResult] = []
+        #: total intermediate probe runs spent on multi-step generation
+        self.total_probe_runs = 0
+
+    def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
+        alt = alternate_constraint(self.tm, request.conditions, request.index)
+        checker = ValidityChecker(
+            self.tm,
+            max_candidates=self.max_candidates,
+            use_antecedent=self.use_antecedent,
+        )
+        self.solver_calls += 1
+        verdict = checker.check(
+            alt,
+            list(request.input_vars.values()),
+            self.store.samples(),
+            defaults=request.defaults,
+        )
+        self.verdicts.append(verdict)
+        if verdict.status is not ValidityStatus.VALID or verdict.strategy is None:
+            return None
+
+        strategy = verdict.strategy
+        pending = strategy.pending(self.store.samples())
+        if not pending:
+            return GeneratedTest(
+                inputs=strategy.concretize(self.store.samples()),
+                note=f"validity proof ({verdict.note})",
+            )
+        if self.probe_runner is None:
+            return None  # multi-step required but no probe runner wired
+        driver = MultiStepDriver(self.store, self.probe_runner, self.max_steps)
+        inputs = driver.resolve(strategy, request.defaults)
+        self.total_probe_runs += len(driver.probes)
+        if inputs is None:
+            return None
+        return GeneratedTest(
+            inputs=inputs,
+            intermediate_runs=len(driver.probes),
+            note=f"multi-step validity proof ({len(driver.probes)} probes)",
+        )
+
+    def post_formula(self, request: GenerationRequest):
+        """The structured ``POST(ALT(pc))`` for display/diagnostics."""
+        return build_post(
+            self.tm,
+            request.conditions,
+            request.index,
+            list(request.input_vars.values()),
+            self.store.samples() if self.use_antecedent else [],
+        )

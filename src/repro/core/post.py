@@ -1,0 +1,96 @@
+"""Post-processing of path constraints into validity queries (paper §4.2).
+
+Given a path constraint ``pc = c₁ ∧ … ∧ cₙ`` produced by symbolic execution
+with uninterpreted functions, the paper defines:
+
+- ``ALT(pc)`` — the alternate path constraint ``c₁ ∧ … ∧ c_{i-1} ∧ ¬c_i``
+  targeting the other side of the i-th branch;
+- ``POST(pc) = ∃X : A ⇒ pc`` — the first-order validity query, where ``A``
+  conjoins the recorded IOF samples and the UF symbols are implicitly
+  universally quantified.
+
+Concretization constraints (pins) are never negated: "negating these
+constraints will not define alternate path constraints corresponding to new
+program paths" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..solver.terms import Term, TermManager
+from ..solver.validity import Sample
+from ..symbolic.concolic import PathCondition
+
+__all__ = [
+    "negatable_indices",
+    "alternate_constraint",
+    "PostFormula",
+    "build_post",
+]
+
+
+def negatable_indices(conditions: Sequence[PathCondition]) -> List[int]:
+    """Indices of conditions the directed search may negate.
+
+    Excludes concretization constraints, per Section 3.3.
+    """
+    return [
+        i for i, pc in enumerate(conditions) if not pc.is_concretization
+    ]
+
+
+def alternate_constraint(
+    tm: TermManager, conditions: Sequence[PathCondition], index: int
+) -> Term:
+    """``ALT(pc)`` for the ``index``-th condition: prefix ∧ ¬c_index.
+
+    The prefix keeps *all* earlier conditions, including pins — they are
+    part of the path's soundness story even though they are never the
+    negation target.
+    """
+    if conditions[index].is_concretization:
+        raise ValueError("cannot negate a concretization constraint")
+    prefix = [pc.term for pc in conditions[:index]]
+    negated = tm.mk_not(conditions[index].term)
+    return tm.mk_and(*(prefix + [negated]))
+
+
+@dataclass
+class PostFormula:
+    """The paper's ``POST(pc) = ∃X : A ⇒ pc``, kept structured.
+
+    The validity engine consumes the pieces separately; this object also
+    renders the formula for humans, matching the paper's notation.
+    """
+
+    exists_vars: List[Term]
+    antecedent_samples: List[Sample]
+    matrix: Term
+
+    def render(self) -> str:
+        xs = ", ".join(v.name or "?" for v in self.exists_vars)
+        if self.antecedent_samples:
+            ant = " ∧ ".join(str(s) for s in self.antecedent_samples)
+            return f"∃{xs} : ({ant}) ⇒ {self.matrix}"
+        return f"∃{xs} : {self.matrix}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def build_post(
+    tm: TermManager,
+    conditions: Sequence[PathCondition],
+    index: int,
+    input_vars: Sequence[Term],
+    samples: Sequence[Sample],
+) -> PostFormula:
+    """Build ``POST(ALT(pc))`` for negating the ``index``-th condition."""
+    matrix = alternate_constraint(tm, conditions, index)
+    return PostFormula(
+        exists_vars=list(input_vars),
+        antecedent_samples=list(samples),
+        matrix=matrix,
+    )

@@ -1,0 +1,244 @@
+"""Compositional function summaries (paper §8, related work [11, 17]).
+
+A *function summary* is a disjunction of intraprocedural path constraints,
+each paired with the function's symbolic return value on that path:
+
+    φ_g  =  ⋁_i ( guard_i(p̄) ∧ ret = ret_i(p̄) )
+
+Summaries are discovered incrementally by directed exploration of the
+callee in isolation (the "demand-driven" regime of [1]); each discovered
+case is a *must* fact: any argument vector satisfying ``guard_i`` makes
+``g`` return ``ret_i``.  Unknown functions inside the callee appear as UF
+applications in both guards and return terms, so summaries compose with
+higher-order test generation — the combination the paper names
+"higher-order compositional test generation" and declares orthogonal; this
+module realizes it.
+
+Typical use: answer caller-level reachability queries without re-inlining
+the callee — see :class:`CompositionalReachability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..solver.smt import Solver
+from ..solver.terms import Term, TermManager
+from ..solver.validity import Sample, ValidityChecker, ValidityResult
+from ..symbolic.concolic import ConcolicEngine, ConcretizationMode
+from .samples import SampleStore
+
+__all__ = [
+    "SummaryCase",
+    "FunctionSummary",
+    "SummaryExtractor",
+    "CompositionalReachability",
+]
+
+
+@dataclass(frozen=True)
+class SummaryCase:
+    """One intraprocedural path: guard over the parameters + return term."""
+
+    guard: Term
+    ret: Term
+    #: branch trace identifying the path (dedup key)
+    path_key: Tuple[Tuple[int, bool], ...]
+
+    def __str__(self) -> str:
+        return f"{self.guard} → ret = {self.ret}"
+
+
+@dataclass
+class FunctionSummary:
+    """A (partial, growing) summary of one MiniC function."""
+
+    name: str
+    #: formal parameter variables the guards/returns are expressed over
+    params: List[Term]
+    cases: List[SummaryCase] = field(default_factory=list)
+    _keys: Set[Tuple[Tuple[int, bool], ...]] = field(default_factory=set)
+
+    def add_case(self, case: SummaryCase) -> bool:
+        """Add a case; returns False if this path was already summarized."""
+        if case.path_key in self._keys:
+            return False
+        self._keys.add(case.path_key)
+        self.cases.append(case)
+        return True
+
+    def instantiate(
+        self,
+        tm: TermManager,
+        args: Sequence[Term],
+        ret: Term,
+    ) -> Term:
+        """The summary disjunction with ``args`` for params and ``ret`` bound.
+
+        ``⋁_i guard_i[p̄ := args] ∧ ret = ret_i[p̄ := args]`` — a sound
+        *under-approximation* of the callee's behaviour: every disjunct is
+        a must fact, so any model yields a real caller execution.
+        """
+        if len(args) != len(self.params):
+            raise ReproError(
+                f"summary of {self.name} has {len(self.params)} params, "
+                f"got {len(args)} arguments"
+            )
+        mapping = dict(zip(self.params, args))
+        disjuncts = []
+        for case in self.cases:
+            guard = tm.substitute(case.guard, mapping)
+            ret_val = tm.substitute(case.ret, mapping)
+            disjuncts.append(tm.mk_and(guard, tm.mk_eq(ret, ret_val)))
+        return tm.mk_or(*disjuncts) if disjuncts else tm.false_
+
+    def __str__(self) -> str:
+        inner = "\n  ∨ ".join(str(c) for c in self.cases)
+        ps = ", ".join(p.name or "?" for p in self.params)
+        return f"summary {self.name}({ps}):\n    {inner}"
+
+
+class SummaryExtractor:
+    """Discovers summary cases by concolically exploring a function.
+
+    Each exploration run of the callee (in isolation, with its parameters
+    as symbolic inputs) contributes one case: the conjunction of the run's
+    path conditions as the guard, and the run's symbolic return value.
+    Exploration is driven by the same directed search used for whole
+    programs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        natives: NativeRegistry,
+        manager: Optional[TermManager] = None,
+        mode: ConcretizationMode = ConcretizationMode.HIGHER_ORDER,
+    ) -> None:
+        self.program = program
+        self.natives = natives
+        self.tm = manager if manager is not None else TermManager()
+        self.mode = mode
+        self.store = SampleStore()
+
+    def extract(
+        self,
+        fn_name: str,
+        seed_inputs: Dict[str, int],
+        max_runs: int = 30,
+        extra_seeds: Sequence[Dict[str, int]] = (),
+    ) -> FunctionSummary:
+        """Explore ``fn_name`` and return the accumulated summary.
+
+        ``extra_seeds`` matter when the callee branches on unknown
+        functions: paths like ``hash(v) > 500`` cannot be *generated*
+        soundly until a sample witnessing them exists, so a representative
+        seed corpus (the §7 well-formed-inputs idea) seeds those paths.
+        """
+        from ..search.directed import DirectedSearch, SearchConfig
+
+        fn = self.program.function(fn_name)
+        params = [self.tm.mk_var(p) for p in fn.params]
+        summary = FunctionSummary(name=fn_name, params=params)
+
+        for seed in [dict(seed_inputs)] + [dict(s) for s in extra_seeds]:
+            search = DirectedSearch.for_mode(
+                self.program,
+                fn_name,
+                self.natives,
+                self.mode,
+                SearchConfig(max_runs=max_runs),
+                manager=self.tm,
+                store=self.store,
+            )
+            result = search.run(seed)
+            for record in result.executions:
+                run = record.result
+                if run.error:
+                    continue  # erroring paths have no return value
+                guard = self.tm.mk_and(
+                    *[pc.term for pc in run.path_conditions]
+                )
+                ret = (
+                    run.returned_term
+                    if run.returned_term is not None
+                    else self.tm.mk_int(
+                        run.returned if run.returned is not None else 0
+                    )
+                )
+                summary.add_case(
+                    SummaryCase(guard=guard, ret=ret, path_key=run.path_key)
+                )
+        return summary
+
+
+class CompositionalReachability:
+    """Answer caller-level queries through callee summaries.
+
+    Given a caller-side condition over a summarized call's result — e.g.
+    "can ``g(x, y) == 42`` hold?" — build the formula
+
+        φ_g[p̄ := args, ret := r] ∧ condition(r)
+
+    and decide it.  Two decision modes mirror the paper's dichotomy:
+
+    - :meth:`check_sat` — plain satisfiability (the compositional testing
+      of [11, 17], all UFs existential);
+    - :meth:`check_validity` — the higher-order combination: UFs inside
+      the summary stay universal and recorded samples form the
+      antecedent, giving *usable* tests even when the callee body called
+      unknown functions.
+    """
+
+    def __init__(self, manager: TermManager, store: Optional[SampleStore] = None) -> None:
+        self.tm = manager
+        self.store = store if store is not None else SampleStore()
+
+    def check_sat(
+        self,
+        summary: FunctionSummary,
+        args: Sequence[Term],
+        condition_on: Term,
+        ret_var: Optional[Term] = None,
+    ):
+        """Satisfiability of ``summary(args) = r ∧ condition_on(r)``.
+
+        ``condition_on`` must be a boolean term over ``ret_var`` (and any
+        caller inputs).  Returns the solver's CheckResult.
+        """
+        ret = ret_var if ret_var is not None else self.tm.fresh_var("_ret")
+        formula = self.tm.mk_and(
+            summary.instantiate(self.tm, args, ret), condition_on
+        )
+        solver = Solver(self.tm)
+        solver.add(formula)
+        return solver.check()
+
+    def check_validity(
+        self,
+        summary: FunctionSummary,
+        args: Sequence[Term],
+        condition_on: Term,
+        input_vars: Sequence[Term],
+        ret_var: Optional[Term] = None,
+        defaults: Optional[Dict[str, int]] = None,
+    ) -> ValidityResult:
+        """Higher-order compositional query: validity with UF antecedent.
+
+        The existential block covers the caller inputs *and* the summary's
+        return placeholder; unknown functions referenced by the summary
+        remain universally quantified, constrained by the sample store.
+        """
+        ret = ret_var if ret_var is not None else self.tm.fresh_var("_ret")
+        formula = self.tm.mk_and(
+            summary.instantiate(self.tm, args, ret), condition_on
+        )
+        checker = ValidityChecker(self.tm)
+        exists = list(input_vars) + [ret]
+        return checker.check(
+            formula, exists, self.store.samples(), defaults=defaults
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing Python
+built-in errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SortError(ReproError):
+    """A term was built with operands of the wrong sort."""
+
+
+class SolverError(ReproError):
+    """The SMT solver was used incorrectly or hit an internal limit."""
+
+
+class ResourceLimitError(SolverError):
+    """A configured resource budget (conflicts, pivots, branches) ran out."""
+
+
+class ParseError(ReproError):
+    """Source text could not be parsed into a MiniC program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class InterpError(ReproError):
+    """A MiniC program performed an illegal operation at runtime."""
+
+
+class StepBudgetExceeded(InterpError):
+    """A MiniC execution ran longer than its configured step budget.
+
+    The paper assumes all executions terminate (Section 2, footnote 2); the
+    interpreter enforces that assumption with a step budget, mirroring the
+    timeout used in practice.
+    """
+
+
+class SymbolicExecutionError(ReproError):
+    """The concolic machine reached an inconsistent state."""
+
+
+class StrategyError(ReproError):
+    """A test-generation strategy could not be interpreted into inputs."""

@@ -1,0 +1,75 @@
+"""MiniC: the small imperative language the paper's programs are written in.
+
+Exports the parser, the concrete interpreter, and the native-function
+registry used to model the paper's "unknown functions".
+"""
+
+from .ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Block,
+    Call,
+    ErrorStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .lexer import Token, tokenize
+from .parser import parse_expression, parse_program
+from .natives import NativeFunction, NativeRegistry
+from .interp import Interpreter, RunResult, c_div, c_mod, truthy
+from .pretty import pretty_expr, pretty_program, pretty_stmt
+from .randprog import RandomProgram, generate_program
+
+__all__ = [
+    "ArrayAssign",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "AssertStmt",
+    "Binary",
+    "Block",
+    "Call",
+    "ErrorStmt",
+    "Expr",
+    "ExprStmt",
+    "FunctionDef",
+    "If",
+    "IntLit",
+    "Program",
+    "Return",
+    "Stmt",
+    "Unary",
+    "VarDecl",
+    "VarRef",
+    "While",
+    "Token",
+    "tokenize",
+    "parse_expression",
+    "parse_program",
+    "NativeFunction",
+    "NativeRegistry",
+    "Interpreter",
+    "RunResult",
+    "c_div",
+    "c_mod",
+    "truthy",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_stmt",
+    "RandomProgram",
+    "generate_program",
+]

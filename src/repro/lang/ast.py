@@ -1,0 +1,275 @@
+"""Abstract syntax tree for MiniC, the library's small imperative language.
+
+MiniC is the concrete incarnation of the paper's abstract command language
+(Section 2): programs are built from assignments, conditionals, loops and
+calls.  All values are integers; strings are modelled as fixed-width tuples
+of character codes by the applications layer.
+
+Every conditional / loop node carries a unique ``branch_id`` assigned at
+parse time, used by the search engines for branch-coverage bookkeeping and
+divergence detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Expr",
+    "IntLit",
+    "VarRef",
+    "Unary",
+    "Binary",
+    "Call",
+    "ArrayRef",
+    "Stmt",
+    "VarDecl",
+    "ArrayDecl",
+    "Assign",
+    "ArrayAssign",
+    "If",
+    "While",
+    "Return",
+    "ExprStmt",
+    "ErrorStmt",
+    "AssertStmt",
+    "Block",
+    "FunctionDef",
+    "Program",
+    "COMPARISON_OPS",
+    "ARITH_OPS",
+    "LOGICAL_OPS",
+]
+
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+ARITH_OPS = ("+", "-", "*", "/", "%")
+LOGICAL_OPS = ("&&", "||")
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class carrying source position for error messages."""
+
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """An integer literal."""
+
+    value: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A reference to a scalar variable."""
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operation: ``-e`` or ``!e``."""
+
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operation over arithmetic, comparison or logical operators."""
+
+    op: str = "+"
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a user-defined or native (possibly unknown) function."""
+
+    name: str = ""
+    args: Tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array read ``a[index]``."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.index}]"
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """``int x;`` or ``int x = e;``"""
+
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ArrayDecl(Stmt):
+    """``int a[N];`` — a fixed-size integer array initialized to zeros."""
+
+    name: str = ""
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``x = e;``"""
+
+    name: str = ""
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Stmt):
+    """``a[i] = e;``"""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional with a parse-time-unique ``branch_id``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: "Block" = None  # type: ignore[assignment]
+    else_body: Optional["Block"] = None
+    branch_id: int = -1
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """Loop; each evaluation of the guard is a branch occurrence."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: "Block" = None  # type: ignore[assignment]
+    branch_id: int = -1
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (a call)."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ErrorStmt(Stmt):
+    """``error("message");`` — the paper's reachable-bug marker."""
+
+    message: str = "error"
+
+
+@dataclass(frozen=True)
+class AssertStmt(Stmt):
+    """``assert(e);`` — errors when ``e`` evaluates to 0.
+
+    Asserts are branch sites too: the search can target the failing side.
+    """
+
+    cond: Expr = None  # type: ignore[assignment]
+    branch_id: int = -1
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    stmts: Tuple[Stmt, ...] = ()
+
+
+# ---------------------------------------------------------------- top level
+
+
+@dataclass(frozen=True)
+class FunctionDef(Node):
+    """``int name(int p1, int p2) { ... }``"""
+
+    name: str = ""
+    params: Tuple[str, ...] = ()
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Program:
+    """A parsed MiniC program: user functions plus branch metadata."""
+
+    functions: Dict[str, FunctionDef]
+    #: total number of branch sites (If/While nodes) in the program
+    num_branches: int = 0
+    #: source text, kept for diagnostics
+    source: str = ""
+
+    def function(self, name: str) -> FunctionDef:
+        if name not in self.functions:
+            raise KeyError(f"no function named {name!r}")
+        return self.functions[name]
+
+    def branch_sites(self) -> List[Tuple[int, int]]:
+        """All (branch_id, line) pairs, for coverage reports."""
+        sites: List[Tuple[int, int]] = []
+
+        def walk(stmt: Stmt) -> None:
+            if isinstance(stmt, Block):
+                for s in stmt.stmts:
+                    walk(s)
+            elif isinstance(stmt, If):
+                sites.append((stmt.branch_id, stmt.line))
+                walk(stmt.then_body)
+                if stmt.else_body is not None:
+                    walk(stmt.else_body)
+            elif isinstance(stmt, While):
+                sites.append((stmt.branch_id, stmt.line))
+                walk(stmt.body)
+            elif isinstance(stmt, AssertStmt):
+                sites.append((stmt.branch_id, stmt.line))
+
+        for fn in self.functions.values():
+            walk(fn.body)
+        sites.sort()
+        return sites

@@ -1,0 +1,341 @@
+"""Concrete big-step interpreter for MiniC.
+
+Executes a program on a concrete input vector, recording the branch trace
+(the control path ``w`` of the paper's Section 2) and detecting errors.
+Used directly by the blackbox-fuzzing baseline and for cheap re-validation
+of generated tests; the concolic machine in :mod:`repro.symbolic` performs
+the same evaluation side-by-side with a symbolic store.
+
+Division follows C semantics (truncation toward zero); a step budget
+enforces the paper's all-executions-terminate assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InterpError, StepBudgetExceeded
+from .ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Block,
+    Call,
+    ErrorStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .natives import NativeRegistry
+
+__all__ = [
+    "Interpreter",
+    "RunResult",
+    "DivisionByZero",
+    "c_div",
+    "c_mod",
+    "truthy",
+]
+
+
+class DivisionByZero(Exception):
+    """Raised by :func:`c_div`/:func:`c_mod`; the interpreters convert it
+    into a *program error* (like a failed assert), so searches can find
+    and confirm division-by-zero bugs (paper §3.2's injected checks)."""
+
+
+def c_div(a: int, b: int) -> int:
+    """C-style integer division: truncation toward zero."""
+    if b == 0:
+        raise DivisionByZero()
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a: int, b: int) -> int:
+    """C-style remainder: ``a == b * c_div(a, b) + c_mod(a, b)``."""
+    return a - b * c_div(a, b)
+
+
+def truthy(value: int) -> bool:
+    """MiniC truth: any non-zero integer."""
+    return value != 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one concrete execution."""
+
+    #: inputs the program ran with
+    inputs: Dict[str, int]
+    #: return value of the entry function (None if an error fired)
+    returned: Optional[int]
+    #: True when an error()/failed assert was reached
+    error: bool = False
+    error_message: str = ""
+    error_line: int = 0
+    #: branch trace: (branch_id, taken) per evaluated conditional
+    path: List[Tuple[int, bool]] = field(default_factory=list)
+    #: branches covered: set of (branch_id, polarity)
+    covered: set = field(default_factory=set)
+    steps: int = 0
+
+    @property
+    def path_key(self) -> Tuple[Tuple[int, bool], ...]:
+        """Hashable identity of the executed control path."""
+        return tuple(self.path)
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class _ErrorSignal(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        self.message = message
+        self.line = line
+
+
+class Interpreter:
+    """Concrete MiniC interpreter.
+
+    Usage::
+
+        prog = parse_program(src)
+        interp = Interpreter(prog, natives)
+        result = interp.run("obscure", {"x": 33, "y": 42})
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        natives: Optional[NativeRegistry] = None,
+        step_budget: int = 1_000_000,
+    ) -> None:
+        self.program = program
+        self.natives = natives if natives is not None else NativeRegistry()
+        self.step_budget = step_budget
+
+    def run(self, entry: str, inputs: Dict[str, int]) -> RunResult:
+        """Execute ``entry`` with the given inputs and trace the path."""
+        fn = self.program.function(entry)
+        missing = [p for p in fn.params if p not in inputs]
+        if missing:
+            raise InterpError(f"missing inputs for parameters {missing}")
+        result = RunResult(inputs=dict(inputs), returned=None)
+        env: Dict[str, object] = {p: int(inputs[p]) for p in fn.params}
+        try:
+            self._exec_block(fn.body, env, result)
+            result.returned = 0  # falling off the end returns 0
+        except _ReturnSignal as ret:
+            result.returned = ret.value
+        except _ErrorSignal as err:
+            result.error = True
+            result.error_message = err.message
+            result.error_line = err.line
+        return result
+
+    # -- statements ---------------------------------------------------------
+
+    def _tick(self, result: RunResult) -> None:
+        result.steps += 1
+        if result.steps > self.step_budget:
+            raise StepBudgetExceeded(
+                f"execution exceeded {self.step_budget} steps"
+            )
+
+    def _exec_block(
+        self, block: Block, env: Dict[str, object], result: RunResult
+    ) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env, result)
+
+    def _exec_stmt(
+        self, stmt: Stmt, env: Dict[str, object], result: RunResult
+    ) -> None:
+        self._tick(result)
+        if isinstance(stmt, VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.init, env, result) if stmt.init is not None else 0
+            )
+        elif isinstance(stmt, ArrayDecl):
+            env[stmt.name] = [0] * stmt.size
+        elif isinstance(stmt, Assign):
+            if stmt.name not in env:
+                raise InterpError(
+                    f"assignment to undeclared variable {stmt.name!r} "
+                    f"(line {stmt.line})"
+                )
+            env[stmt.name] = self._eval(stmt.expr, env, result)
+        elif isinstance(stmt, ArrayAssign):
+            arr = self._array(stmt.name, env, stmt.line)
+            idx = self._eval(stmt.index, env, result)
+            self._bounds_check(arr, idx, stmt.name, stmt.line)
+            arr[idx] = self._eval(stmt.expr, env, result)
+        elif isinstance(stmt, If):
+            value = self._eval(stmt.cond, env, result)
+            taken = truthy(value)
+            result.path.append((stmt.branch_id, taken))
+            result.covered.add((stmt.branch_id, taken))
+            if taken:
+                self._exec_block(stmt.then_body, env, result)
+            elif stmt.else_body is not None:
+                self._exec_block(stmt.else_body, env, result)
+        elif isinstance(stmt, While):
+            while True:
+                value = self._eval(stmt.cond, env, result)
+                taken = truthy(value)
+                result.path.append((stmt.branch_id, taken))
+                result.covered.add((stmt.branch_id, taken))
+                if not taken:
+                    break
+                self._exec_block(stmt.body, env, result)
+                self._tick(result)
+        elif isinstance(stmt, Return):
+            value = (
+                self._eval(stmt.expr, env, result) if stmt.expr is not None else 0
+            )
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ErrorStmt):
+            raise _ErrorSignal(stmt.message, stmt.line)
+        elif isinstance(stmt, AssertStmt):
+            ok = truthy(self._eval(stmt.cond, env, result))
+            result.path.append((stmt.branch_id, ok))
+            result.covered.add((stmt.branch_id, ok))
+            if not ok:
+                raise _ErrorSignal("assertion failed", stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, env, result)
+        elif isinstance(stmt, Block):
+            self._exec_block(stmt, env, result)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def _array(self, name: str, env: Dict[str, object], line: int) -> list:
+        arr = env.get(name)
+        if not isinstance(arr, list):
+            raise InterpError(f"{name!r} is not an array (line {line})")
+        return arr
+
+    def _bounds_check(self, arr: list, idx: int, name: str, line: int) -> None:
+        """Out-of-bounds access is a *program error* (confirmable bug)."""
+        if not 0 <= idx < len(arr):
+            raise _ErrorSignal(
+                f"array index {idx} out of bounds for {name}[{len(arr)}]",
+                line,
+            )
+
+    def _eval(self, expr: Expr, env: Dict[str, object], result: RunResult) -> int:
+        self._tick(result)
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name not in env:
+                raise InterpError(
+                    f"undeclared variable {expr.name!r} (line {expr.line})"
+                )
+            value = env[expr.name]
+            if isinstance(value, list):
+                raise InterpError(
+                    f"array {expr.name!r} used as a scalar (line {expr.line})"
+                )
+            return value  # type: ignore[return-value]
+        if isinstance(expr, ArrayRef):
+            arr = self._array(expr.name, env, expr.line)
+            idx = self._eval(expr.index, env, result)
+            self._bounds_check(arr, idx, expr.name, expr.line)
+            return arr[idx]
+        if isinstance(expr, Unary):
+            value = self._eval(expr.operand, env, result)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return 0 if truthy(value) else 1
+            raise InterpError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, env, result)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env, result)
+        raise InterpError(f"unknown expression {expr!r}")
+
+    def _eval_binary(
+        self, expr: Binary, env: Dict[str, object], result: RunResult
+    ) -> int:
+        op = expr.op
+        # logical operators are STRICT (both operands evaluated), matching
+        # the paper's treatment of compound conditions: Example 3 derives
+        # the two-conjunct constraint x=567 ∧ y=123 from one `if (A AND B)`
+        if op == "&&":
+            left = self._eval(expr.left, env, result)
+            right = self._eval(expr.right, env, result)
+            return 1 if truthy(left) and truthy(right) else 0
+        if op == "||":
+            left = self._eval(expr.left, env, result)
+            right = self._eval(expr.right, env, result)
+            return 1 if truthy(left) or truthy(right) else 0
+        left = self._eval(expr.left, env, result)
+        right = self._eval(expr.right, env, result)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            try:
+                return c_div(left, right)
+            except DivisionByZero:
+                raise _ErrorSignal("division by zero", expr.line)
+        if op == "%":
+            try:
+                return c_mod(left, right)
+            except DivisionByZero:
+                raise _ErrorSignal("division by zero", expr.line)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise InterpError(f"unknown binary operator {op!r}")
+
+    def _eval_call(
+        self, expr: Call, env: Dict[str, object], result: RunResult
+    ) -> int:
+        args = [self._eval(a, env, result) for a in expr.args]
+        if expr.name in self.program.functions:
+            fn = self.program.function(expr.name)
+            if len(args) != len(fn.params):
+                raise InterpError(
+                    f"{expr.name} expects {len(fn.params)} args, got {len(args)} "
+                    f"(line {expr.line})"
+                )
+            call_env: Dict[str, object] = dict(zip(fn.params, args))
+            try:
+                self._exec_block(fn.body, call_env, result)
+                return 0
+            except _ReturnSignal as ret:
+                return ret.value
+        return self.natives.call(expr.name, tuple(args))

@@ -1,0 +1,121 @@
+"""Tokenizer for MiniC source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {"int", "if", "else", "while", "for", "return", "error", "assert"}
+)
+
+_TWO_CHAR = ("==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR = "+-*/%<>!=(){}[],;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str  # 'int_lit' | 'ident' | 'keyword' | 'op' | 'string' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert MiniC source into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(msg: str) -> ParseError:
+        return ParseError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # string literal (only used by error("..."))
+        if ch == '"':
+            end = i + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\n":
+                    raise error("unterminated string literal")
+                end += 1
+            if end >= n:
+                raise error("unterminated string literal")
+            text = source[i + 1:end]
+            tokens.append(Token("string", text, line, col))
+            col += end - i + 1
+            i = end + 1
+            continue
+        # numbers
+        if ch.isdigit():
+            end = i
+            while end < n and source[end].isdigit():
+                end += 1
+            tokens.append(Token("int_lit", source[i:end], line, col))
+            col += end - i
+            i = end
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[i:end]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += end - i
+            i = end
+            continue
+        # operators
+        two = source[i:i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("op", two, line, col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("op", ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,404 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (all values are ``int``)::
+
+    program    := function*
+    function   := 'int' IDENT '(' params? ')' block
+    params     := 'int' IDENT (',' 'int' IDENT)*
+    block      := '{' stmt* '}'
+    stmt       := 'int' IDENT ('=' expr)? ';'
+                | 'int' IDENT '[' INT ']' ';'
+                | IDENT '=' expr ';'
+                | IDENT '[' expr ']' '=' expr ';'
+                | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+                | 'while' '(' expr ')' block
+                | 'return' expr? ';'
+                | 'error' '(' STRING? ')' ';'
+                | 'assert' '(' expr ')' ';'
+                | expr ';'
+    expr       := or_expr
+    or_expr    := and_expr ('||' and_expr)*
+    and_expr   := cmp_expr ('&&' cmp_expr)*
+    cmp_expr   := add_expr (('=='|'!='|'<'|'<='|'>'|'>=') add_expr)?
+    add_expr   := mul_expr (('+'|'-') mul_expr)*
+    mul_expr   := unary (('*'|'/'|'%') unary)*
+    unary      := ('-'|'!') unary | primary
+    primary    := INT | IDENT | IDENT '(' args ')' | IDENT '[' expr ']'
+                | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Block,
+    Call,
+    ErrorStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expression"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._next_branch_id = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {tok.text or tok.kind!r}",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self, source: str) -> Program:
+        functions = {}
+        while not self._check("eof"):
+            fn = self._function()
+            if fn.name in functions:
+                raise ParseError(f"duplicate function {fn.name!r}", fn.line)
+            functions[fn.name] = fn
+        return Program(
+            functions=functions,
+            num_branches=self._next_branch_id,
+            source=source,
+        )
+
+    def _function(self) -> FunctionDef:
+        start = self._expect("keyword", "int")
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        params: List[str] = []
+        if not self._check("op", ")"):
+            while True:
+                self._expect("keyword", "int")
+                params.append(self._expect("ident").text)
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._block()
+        return FunctionDef(
+            line=start.line, name=name, params=tuple(params), body=body
+        )
+
+    def _block(self) -> Block:
+        open_tok = self._expect("op", "{")
+        stmts: List[Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", open_tok.line)
+            stmts.append(self._statement())
+        self._expect("op", "}")
+        return Block(line=open_tok.line, stmts=tuple(stmts))
+
+    def _statement(self) -> Stmt:
+        tok = self._peek()
+        if self._check("keyword", "int"):
+            return self._declaration()
+        if self._check("keyword", "if"):
+            return self._if_statement()
+        if self._check("keyword", "while"):
+            return self._while_statement()
+        if self._check("keyword", "for"):
+            return self._for_statement()
+        if self._check("keyword", "return"):
+            self._advance()
+            expr = None if self._check("op", ";") else self._expression()
+            self._expect("op", ";")
+            return Return(line=tok.line, expr=expr)
+        if self._check("keyword", "error"):
+            self._advance()
+            self._expect("op", "(")
+            msg = "error"
+            s = self._match("string")
+            if s is not None:
+                msg = s.text
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return ErrorStmt(line=tok.line, message=msg)
+        if self._check("keyword", "assert"):
+            self._advance()
+            branch_id = self._next_branch_id
+            self._next_branch_id += 1
+            self._expect("op", "(")
+            cond = self._expression()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return AssertStmt(line=tok.line, cond=cond, branch_id=branch_id)
+        # assignment or expression statement
+        if tok.kind == "ident":
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "op" and nxt.text == "=":
+                name = self._advance().text
+                self._advance()  # '='
+                expr = self._expression()
+                self._expect("op", ";")
+                return Assign(line=tok.line, name=name, expr=expr)
+            if nxt.kind == "op" and nxt.text == "[":
+                # could be array assignment or array read in an expression;
+                # look ahead for '=' after the matching ']'
+                save = self._pos
+                name = self._advance().text
+                self._advance()  # '['
+                index = self._expression()
+                self._expect("op", "]")
+                if self._match("op", "="):
+                    expr = self._expression()
+                    self._expect("op", ";")
+                    return ArrayAssign(
+                        line=tok.line, name=name, index=index, expr=expr
+                    )
+                self._pos = save  # plain expression statement
+        expr = self._expression()
+        self._expect("op", ";")
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def _declaration(self) -> Stmt:
+        tok = self._expect("keyword", "int")
+        name = self._expect("ident").text
+        if self._match("op", "["):
+            size_tok = self._expect("int_lit")
+            self._expect("op", "]")
+            self._expect("op", ";")
+            return ArrayDecl(line=tok.line, name=name, size=int(size_tok.text))
+        init = None
+        if self._match("op", "="):
+            init = self._expression()
+        self._expect("op", ";")
+        return VarDecl(line=tok.line, name=name, init=init)
+
+    def _if_statement(self) -> If:
+        tok = self._expect("keyword", "if")
+        branch_id = self._next_branch_id
+        self._next_branch_id += 1
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: Optional[Block] = None
+        if self._match("keyword", "else"):
+            if self._check("keyword", "if"):
+                nested = self._if_statement()
+                else_body = Block(line=nested.line, stmts=(nested,))
+            else:
+                else_body = self._block()
+        return If(
+            line=tok.line,
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            branch_id=branch_id,
+        )
+
+    def _while_statement(self) -> While:
+        tok = self._expect("keyword", "while")
+        branch_id = self._next_branch_id
+        self._next_branch_id += 1
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        body = self._block()
+        return While(line=tok.line, cond=cond, body=body, branch_id=branch_id)
+
+    def _for_statement(self) -> Stmt:
+        """``for (init; cond; update) { body }`` desugared to a while loop.
+
+        Produces ``{ init; while (cond) { body; update; } }``; the loop
+        variable follows MiniC's execution-based scoping (it stays visible
+        after the loop, like a C89 ``int i;`` hoisted declaration).
+        """
+        tok = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[Stmt] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int"):
+                init = self._declaration()  # consumes the ';'
+            else:
+                name = self._expect("ident").text
+                self._expect("op", "=")
+                expr = self._expression()
+                self._expect("op", ";")
+                init = Assign(line=tok.line, name=name, expr=expr)
+        else:
+            self._expect("op", ";")
+        cond: Expr = IntLit(line=tok.line, value=1)
+        if not self._check("op", ";"):
+            cond = self._expression()
+        self._expect("op", ";")
+        update: Optional[Stmt] = None
+        if not self._check("op", ")"):
+            name = self._expect("ident").text
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                self._expect("op", "=")
+                expr = self._expression()
+                update = ArrayAssign(
+                    line=tok.line, name=name, index=index, expr=expr
+                )
+            else:
+                self._expect("op", "=")
+                expr = self._expression()
+                update = Assign(line=tok.line, name=name, expr=expr)
+        self._expect("op", ")")
+        branch_id = self._next_branch_id
+        self._next_branch_id += 1
+        body = self._block()
+        loop_stmts = list(body.stmts)
+        if update is not None:
+            loop_stmts.append(update)
+        loop = While(
+            line=tok.line,
+            cond=cond,
+            body=Block(line=body.line, stmts=tuple(loop_stmts)),
+            branch_id=branch_id,
+        )
+        outer = ([init] if init is not None else []) + [loop]
+        return Block(line=tok.line, stmts=tuple(outer))
+
+    # -- expressions -------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._check("op", "||"):
+            tok = self._advance()
+            right = self._and_expr()
+            left = Binary(line=tok.line, op="||", left=left, right=right)
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._cmp_expr()
+        while self._check("op", "&&"):
+            tok = self._advance()
+            right = self._cmp_expr()
+            left = Binary(line=tok.line, op="&&", left=left, right=right)
+        return left
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self._check("op", op):
+                tok = self._advance()
+                right = self._add_expr()
+                return Binary(line=tok.line, op=op, left=left, right=right)
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while self._check("op", "+") or self._check("op", "-"):
+            tok = self._advance()
+            right = self._mul_expr()
+            left = Binary(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._unary()
+        while (
+            self._check("op", "*")
+            or self._check("op", "/")
+            or self._check("op", "%")
+        ):
+            tok = self._advance()
+            right = self._unary()
+            left = Binary(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        if self._check("op", "-") or self._check("op", "!"):
+            tok = self._advance()
+            operand = self._unary()
+            return Unary(line=tok.line, op=tok.text, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "int_lit":
+            self._advance()
+            return IntLit(line=tok.line, value=int(tok.text))
+        if tok.kind == "ident":
+            self._advance()
+            if self._match("op", "("):
+                args: List[Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._match("op", ","):
+                            break
+                self._expect("op", ")")
+                return Call(line=tok.line, name=tok.text, args=tuple(args))
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return ArrayRef(line=tok.line, name=tok.text, index=index)
+            return VarRef(line=tok.line, name=tok.text)
+        if self._match("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {tok.text or tok.kind!r}", tok.line, tok.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniC source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program(source)
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single MiniC expression (useful in tests)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expression()
+    parser._expect("eof")
+    return expr

@@ -1,0 +1,132 @@
+"""Pretty-printer (unparser) for MiniC ASTs.
+
+Renders a parsed :class:`~repro.lang.ast.Program` back into source text
+that parses to a structurally identical AST (round-trip property, tested).
+Useful for debugging generated programs, normalizing corpora, and emitting
+counterexample programs in bug reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ReproError
+from .ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Block,
+    Call,
+    ErrorStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+__all__ = ["pretty_expr", "pretty_stmt", "pretty_program"]
+
+#: operator precedence, loosest to tightest (mirrors the parser)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "%": 5,
+}
+
+
+def pretty_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing only where precedence demands."""
+    if isinstance(expr, IntLit):
+        if expr.value < 0:
+            # the grammar has no negative literals; render via unary minus
+            text = f"-{-expr.value}"
+            return f"({text})" if parent_prec > 0 else text
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, Call):
+        inner = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, Unary):
+        operand = pretty_expr(expr.operand, parent_prec=6)
+        text = f"{expr.op}{operand}"
+        return f"({text})" if parent_prec > 6 else text
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, parent_prec=prec)
+        # right side binds one tighter: operators are left-associative
+        right = pretty_expr(expr.right, parent_prec=prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise ReproError(f"cannot pretty-print expression {expr!r}")
+
+
+def pretty_stmt(stmt: Stmt, indent: str = "") -> str:
+    """Render one statement (with trailing newline-free lines)."""
+    nxt = indent + "    "
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            return f"{indent}int {stmt.name} = {pretty_expr(stmt.init)};"
+        return f"{indent}int {stmt.name};"
+    if isinstance(stmt, ArrayDecl):
+        return f"{indent}int {stmt.name}[{stmt.size}];"
+    if isinstance(stmt, Assign):
+        return f"{indent}{stmt.name} = {pretty_expr(stmt.expr)};"
+    if isinstance(stmt, ArrayAssign):
+        return (
+            f"{indent}{stmt.name}[{pretty_expr(stmt.index)}] = "
+            f"{pretty_expr(stmt.expr)};"
+        )
+    if isinstance(stmt, If):
+        lines = [f"{indent}if ({pretty_expr(stmt.cond)}) {{"]
+        lines.extend(pretty_stmt(s, nxt) for s in stmt.then_body.stmts)
+        if stmt.else_body is not None:
+            lines.append(f"{indent}}} else {{")
+            lines.extend(pretty_stmt(s, nxt) for s in stmt.else_body.stmts)
+        lines.append(f"{indent}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, While):
+        lines = [f"{indent}while ({pretty_expr(stmt.cond)}) {{"]
+        lines.extend(pretty_stmt(s, nxt) for s in stmt.body.stmts)
+        lines.append(f"{indent}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, Return):
+        if stmt.expr is not None:
+            return f"{indent}return {pretty_expr(stmt.expr)};"
+        return f"{indent}return;"
+    if isinstance(stmt, ErrorStmt):
+        return f'{indent}error("{stmt.message}");'
+    if isinstance(stmt, AssertStmt):
+        return f"{indent}assert({pretty_expr(stmt.cond)});"
+    if isinstance(stmt, ExprStmt):
+        return f"{indent}{pretty_expr(stmt.expr)};"
+    if isinstance(stmt, Block):
+        return "\n".join(pretty_stmt(s, indent) for s in stmt.stmts)
+    raise ReproError(f"cannot pretty-print statement {stmt!r}")
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program as compilable MiniC source."""
+    chunks: List[str] = []
+    for fn in program.functions.values():
+        params = ", ".join(f"int {p}" for p in fn.params)
+        lines = [f"int {fn.name}({params}) {{"]
+        lines.extend(pretty_stmt(s, "    ") for s in fn.body.stmts)
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"

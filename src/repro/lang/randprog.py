@@ -1,0 +1,205 @@
+"""Seeded random MiniC program generation, for differential testing.
+
+Generates terminating programs from a small grammar: arithmetic over
+inputs and locals, nested conditionals, bounded counting loops, native
+(unknown) function calls, arrays with both concrete and input-dependent
+indices, asserts and error statements.  Programs are deterministic in the
+seed, so failures shrink to a reproducible ``(seed, inputs)`` pair.
+
+Used by the test suite to check that:
+
+- the concolic machine's *concrete* semantics agree exactly with the
+  plain interpreter on every generated program and input vector;
+- path constraints produced in the sound modes satisfy Theorems 2/3 under
+  oracle evaluation;
+- the directed search never crashes on arbitrary program shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .natives import NativeRegistry
+from .parser import parse_program
+from .ast import Program
+
+__all__ = ["RandomProgram", "generate_program"]
+
+
+@dataclass
+class RandomProgram:
+    """A generated program bundle: source, parse, natives, inputs."""
+
+    source: str
+    program: Program
+    entry: str
+    params: Tuple[str, ...]
+    seed: int
+
+    def natives(self) -> NativeRegistry:
+        registry = NativeRegistry()
+        registry.register("hash", lambda v: (v * 131 + 17) % 4093, arity=1)
+        registry.register(
+            "mix", lambda a, b: ((a * 31) ^ (b * 17)) % 2039, arity=2
+        )
+        return registry
+
+    def random_inputs(self, rng: random.Random, lo: int = -50, hi: int = 50) -> Dict[str, int]:
+        return {p: rng.randint(lo, hi) for p in self.params}
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, params: Tuple[str, ...]) -> None:
+        self.rng = rng
+        self.params = params
+        self.locals: List[str] = []
+        self.arrays: List[Tuple[str, int]] = []
+        self._next_local = 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0:
+            return self._leaf()
+        pick = rng.random()
+        if pick < 0.30:
+            return self._leaf()
+        if pick < 0.70:
+            op = rng.choice(["+", "-", "+", "-", "*"])
+            left = self.expr(depth - 1)
+            right = (
+                str(rng.randint(1, 5)) if op == "*" else self.expr(depth - 1)
+            )
+            return f"({left} {op} {right})"
+        if pick < 0.80 and self.arrays:
+            name, size = rng.choice(self.arrays)
+            index = rng.randint(0, size - 1)
+            return f"{name}[{index}]"
+        if pick < 0.92:
+            return f"hash({self.expr(depth - 1)})"
+        return f"mix({self.expr(depth - 1)}, {self.expr(depth - 1)})"
+
+    def _leaf(self) -> str:
+        rng = self.rng
+        pool: List[str] = list(self.params) + self.locals
+        if pool and rng.random() < 0.75:
+            return rng.choice(pool)
+        return str(rng.randint(-10, 10))
+
+    def condition(self, depth: int) -> str:
+        rng = self.rng
+        op = rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        base = f"{self.expr(depth)} {op} {self.expr(depth)}"
+        if depth > 0 and rng.random() < 0.25:
+            conn = rng.choice(["&&", "||"])
+            other_op = rng.choice(["==", "!=", "<", ">"])
+            other = f"{self.expr(depth - 1)} {other_op} {self.expr(depth - 1)}"
+            return f"{base} {conn} {other}"
+        return base
+
+    # -- statements ----------------------------------------------------------
+
+    def fresh_local(self) -> str:
+        name = f"t{self._next_local}"
+        self._next_local += 1
+        return name
+
+    def block(self, depth: int, indent: str) -> str:
+        count = self.rng.randint(1, 3)
+        lines = [self.statement(depth, indent) for _ in range(count)]
+        return "\n".join(lines)
+
+    def nested_block(self, depth: int, indent: str) -> str:
+        """A block whose declarations must not leak to later statements.
+
+        MiniC scoping is execution-based: a variable declared inside a
+        branch that did not run does not exist.  Restore the declaration
+        environment afterwards so outer statements never reference names
+        whose declaring branch might be skipped.
+        """
+        saved_locals = list(self.locals)
+        saved_arrays = list(self.arrays)
+        body = self.block(depth, indent)
+        self.locals = saved_locals
+        self.arrays = saved_arrays
+        return body
+
+    def statement(self, depth: int, indent: str) -> str:
+        rng = self.rng
+        pick = rng.random()
+        if pick < 0.30 or depth <= 0:
+            # declaration or assignment
+            if self.locals and rng.random() < 0.5:
+                target = rng.choice(self.locals)
+                return f"{indent}{target} = {self.expr(2)};"
+            name = self.fresh_local()
+            stmt = f"{indent}int {name} = {self.expr(2)};"
+            self.locals.append(name)
+            return stmt
+        if pick < 0.40 and depth > 0:
+            # array declaration + a write
+            name = f"arr{len(self.arrays)}"
+            size = rng.randint(2, 5)
+            self.arrays.append((name, size))
+            idx = rng.randint(0, size - 1)
+            return (
+                f"{indent}int {name}[{size}];\n"
+                f"{indent}{name}[{idx}] = {self.expr(1)};"
+            )
+        if pick < 0.75:
+            cond = self.condition(1)
+            inner = self.nested_block(depth - 1, indent + "    ")
+            if rng.random() < 0.5:
+                alt = self.nested_block(depth - 1, indent + "    ")
+                return (
+                    f"{indent}if ({cond}) {{\n{inner}\n{indent}}} else {{\n"
+                    f"{alt}\n{indent}}}"
+                )
+            return f"{indent}if ({cond}) {{\n{inner}\n{indent}}}"
+        if pick < 0.90:
+            # bounded counting loop (always terminates)
+            counter = self.fresh_local()
+            bound = rng.randint(1, 4)
+            inner = self.nested_block(depth - 1, indent + "    ")
+            return (
+                f"{indent}int {counter} = 0;\n"
+                f"{indent}while ({counter} < {bound}) {{\n"
+                f"{inner}\n"
+                f"{indent}    {counter} = {counter} + 1;\n"
+                f"{indent}}}"
+            )
+        # an error guarded by a condition (gives searches a target)
+        cond = self.condition(1)
+        return (
+            f"{indent}if ({cond}) {{\n"
+            f'{indent}    error("generated bug");\n'
+            f"{indent}}}"
+        )
+
+
+def generate_program(
+    seed: int, num_params: int = 2, depth: int = 3
+) -> RandomProgram:
+    """Generate one deterministic random program for the given seed."""
+    rng = random.Random(seed)
+    params = tuple(f"p{i}" for i in range(num_params))
+    gen = _Gen(rng, params)
+    body = gen.block(depth, "    ")
+    ret = gen.expr(2)
+    param_list = ", ".join(f"int {p}" for p in params)
+    source = (
+        f"int main({param_list}) {{\n"
+        f"{body}\n"
+        f"    return {ret};\n"
+        f"}}\n"
+    )
+    return RandomProgram(
+        source=source,
+        program=parse_program(source),
+        entry="main",
+        params=params,
+        seed=seed,
+    )

@@ -1,0 +1,38 @@
+"""Directed search (systematic dynamic test generation) over MiniC."""
+
+from .backends import (
+    ExistentialBackend,
+    GeneratedTest,
+    GenerationRequest,
+    QuantifierFreeBackend,
+    TestGenBackend,
+)
+from .coverage import BranchCoverage
+from .corpus import CorpusEntry, ReplayReport, TestCorpus
+from .directed import (
+    DirectedSearch,
+    ErrorReport,
+    ExecutionRecord,
+    SearchConfig,
+    SearchResult,
+)
+from .minimize import MinimizationResult, minimize_error_inputs
+
+__all__ = [
+    "CorpusEntry",
+    "ReplayReport",
+    "TestCorpus",
+    "MinimizationResult",
+    "minimize_error_inputs",
+    "ExistentialBackend",
+    "GeneratedTest",
+    "GenerationRequest",
+    "QuantifierFreeBackend",
+    "TestGenBackend",
+    "BranchCoverage",
+    "DirectedSearch",
+    "ErrorReport",
+    "ExecutionRecord",
+    "SearchConfig",
+    "SearchResult",
+]

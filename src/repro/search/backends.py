@@ -1,0 +1,134 @@
+"""Test-generation backends: turn an alternate path constraint into inputs.
+
+The directed search (:mod:`repro.search.directed`) is agnostic to *how* a
+new input vector is derived from a path constraint; a backend encapsulates
+that step.  Three backends reproduce the paper's three worlds:
+
+- :class:`QuantifierFreeBackend` — the DART way: satisfiability of the
+  quantifier-free ``ALT(pc)`` (used with the concretization modes, whose
+  constraints are UF-free).
+- :class:`ExistentialBackend` — models *static test generation* (paper §1
+  and §4.2): everything, including unknown functions, is existentially
+  quantified, so the solver may "invent" function behaviour and produce
+  unusable tests.  Divergence statistics then quantify the §1 claim.
+- ``HigherOrderBackend`` (in :mod:`repro.core.hotg`) — the paper's
+  contribution: validity proofs over universally quantified UFs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..solver.smt import Solver
+from ..solver.terms import TermManager
+from ..core.post import alternate_constraint
+from .request import GeneratedTest, GenerationRequest, TestGenBackend
+
+__all__ = [
+    "GenerationRequest",
+    "GeneratedTest",
+    "TestGenBackend",
+    "QuantifierFreeBackend",
+    "ExistentialBackend",
+]
+
+
+class QuantifierFreeBackend:
+    """Classic DART test generation: solve the quantifier-free ``ALT(pc)``.
+
+    Constraints produced by the concretization modes contain no UF symbols,
+    so a plain satisfiability check suffices.  Unconstrained inputs keep
+    their previous concrete values (paper §2: inputs are *variants* of the
+    previous vector).
+    """
+
+    name = "quantifier-free"
+
+    def __init__(self, manager: TermManager, retain_defaults: bool = True) -> None:
+        self.tm = manager
+        self.solver_calls = 0
+        #: first try a model that keeps every input at its previous value
+        #: except where the alternate constraint forces otherwise — tests
+        #: stay "variants of the previous inputs" (paper §2)
+        self.retain_defaults = retain_defaults
+
+    #: cap on extra solver calls spent retaining defaults per generation
+    MAX_RETENTION_CALLS = 8
+
+    def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
+        alt = alternate_constraint(self.tm, request.conditions, request.index)
+        solver = Solver(self.tm)
+        solver.add(alt)
+        self.solver_calls += 1
+        result = solver.check()
+        if not result.sat or result.model is None:
+            return None
+
+        if self.retain_defaults:
+            # greedily pin inputs back to their previous values where the
+            # constraint allows it, so the generated test differs from its
+            # parent only where the flipped branch demands
+            kept: list = []
+            calls = 0
+            for name, var in sorted(request.input_vars.items()):
+                if name not in request.defaults:
+                    continue
+                default = request.defaults[name]
+                if result.model.ints.get(name, default) == default:
+                    continue  # already at the old value
+                if calls >= self.MAX_RETENTION_CALLS:
+                    break
+                pin = self.tm.mk_eq(var, self.tm.mk_int(default))
+                calls += 1
+                self.solver_calls += 1
+                attempt = solver.check(*(kept + [pin]))
+                if attempt.sat and attempt.model is not None:
+                    kept.append(pin)
+                    result = attempt
+        return self._to_test(result, request)
+
+    def _to_test(self, result, request: GenerationRequest) -> GeneratedTest:
+        inputs = {}
+        for name in request.input_vars:
+            if name in result.model.ints:
+                inputs[name] = result.model.ints[name]
+            else:
+                inputs[name] = request.defaults.get(name, 0)
+        return GeneratedTest(inputs=inputs, note="satisfiability")
+
+
+class ExistentialBackend:
+    """Static test generation: satisfiability with *existential* UFs.
+
+    This is the paper's §4.2 foil: "checking the satisfiability of the
+    formula x = h(y) (where h, x and y are thus all implicitly quantified
+    existentially) may return satisfying assignments that are unusable for
+    test generation since the existential quantifier over h allows the
+    constraint solver to invent some specific arbitrary function h".
+
+    Our :class:`~repro.solver.smt.Solver` Ackermannizes UF applications, so
+    it implements exactly that existential semantics.  The divergence rate
+    of tests generated this way measures how unusable they are.
+    """
+
+    name = "existential (static)"
+
+    def __init__(self, manager: TermManager) -> None:
+        self.tm = manager
+        self.solver_calls = 0
+
+    def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
+        alt = alternate_constraint(self.tm, request.conditions, request.index)
+        solver = Solver(self.tm)
+        solver.add(alt)
+        self.solver_calls += 1
+        result = solver.check()
+        if not result.sat or result.model is None:
+            return None
+        inputs = {}
+        for name in request.input_vars:
+            if name in result.model.ints:
+                inputs[name] = result.model.ints[name]
+            else:
+                inputs[name] = request.defaults.get(name, 0)
+        return GeneratedTest(inputs=inputs, note="existential satisfiability")

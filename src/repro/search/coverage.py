@@ -1,0 +1,67 @@
+"""Branch coverage bookkeeping for testing sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang.ast import Program
+
+__all__ = ["BranchCoverage"]
+
+
+@dataclass
+class BranchCoverage:
+    """Tracks which (branch_id, polarity) pairs executions have covered.
+
+    A branch site contributes two coverable outcomes (taken / not taken);
+    :meth:`ratio` reports covered outcomes over all outcomes of all sites.
+    """
+
+    program: Program
+    covered: Set[Tuple[int, bool]] = field(default_factory=set)
+    #: history of (run index, total covered) for plots
+    history: List[Tuple[int, int]] = field(default_factory=list)
+    _runs_seen: int = 0
+
+    def record(self, covered: Set[Tuple[int, bool]]) -> int:
+        """Merge one run's coverage; returns how many outcomes were new."""
+        before = len(self.covered)
+        self.covered |= covered
+        self._runs_seen += 1
+        self.history.append((self._runs_seen, len(self.covered)))
+        return len(self.covered) - before
+
+    @property
+    def total_outcomes(self) -> int:
+        return 2 * len(self.program.branch_sites())
+
+    def ratio(self) -> float:
+        total = self.total_outcomes
+        return len(self.covered) / total if total else 1.0
+
+    def missing(self) -> List[Tuple[int, bool]]:
+        """Branch outcomes not yet exercised."""
+        out = []
+        for branch_id, _line in self.program.branch_sites():
+            for polarity in (True, False):
+                if (branch_id, polarity) not in self.covered:
+                    out.append((branch_id, polarity))
+        return out
+
+    def is_covered(self, branch_id: int, polarity: bool) -> bool:
+        return (branch_id, polarity) in self.covered
+
+    def report(self) -> str:
+        lines = [
+            f"branch coverage: {len(self.covered)}/{self.total_outcomes} "
+            f"({self.ratio():.0%})"
+        ]
+        by_id = {bid: line for bid, line in self.program.branch_sites()}
+        for branch_id, polarity in self.missing():
+            side = "then" if polarity else "else"
+            lines.append(
+                f"  missing: branch {branch_id} ({side}) at line "
+                f"{by_id.get(branch_id, '?')}"
+            )
+        return "\n".join(lines)

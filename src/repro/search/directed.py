@@ -1,0 +1,358 @@
+"""Systematic dynamic test generation: the directed search (paper §2).
+
+:class:`DirectedSearch` implements the DART/SAGE-style loop: run the
+program concolically, pick a recorded condition, ask a backend for inputs
+that flip it, run again, repeat — tracking coverage, found errors, and
+*divergences* (runs that failed to follow the path their constraint
+predicted, the tell-tale of unsound path constraints, §3.2).
+
+The expansion order is generational (each child may only negate conditions
+at positions ≥ its creating index + 1 in its own constraint), which
+guarantees progress and mirrors the search used by the whitebox fuzzing
+work the paper builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError, ResourceLimitError
+from ..lang.ast import Program
+from ..lang.natives import NativeRegistry
+from ..solver.terms import TermManager
+from ..symbolic.concolic import (
+    ConcolicEngine,
+    ConcolicResult,
+    ConcretizationMode,
+    PathCondition,
+)
+from ..core.post import negatable_indices
+from ..core.samples import SampleStore
+from .backends import GeneratedTest, GenerationRequest, TestGenBackend
+from .coverage import BranchCoverage
+
+__all__ = [
+    "SearchConfig",
+    "ErrorReport",
+    "ExecutionRecord",
+    "SearchResult",
+    "DirectedSearch",
+]
+
+
+@dataclass
+class SearchConfig:
+    """Tunables of the directed search."""
+
+    #: maximum program executions (including probes and divergent runs)
+    max_runs: int = 200
+    #: stop as soon as the first error is found
+    stop_on_first_error: bool = False
+    #: per-strategy budget of intermediate multi-step runs
+    max_multistep_probes: int = 4
+    #: skip generating an input vector that was already executed
+    dedupe_inputs: bool = True
+    #: give up expanding a single run beyond this many conditions
+    max_conditions_per_run: int = 64
+    #: frontier scheduling: "fifo" (classic generational order) or
+    #: "coverage" (expand runs that discovered new branch outcomes first,
+    #: the heuristic whitebox fuzzers use to steer large searches)
+    frontier: str = "fifo"
+
+
+@dataclass
+class ErrorReport:
+    """One discovered error (``error()`` statement or failed assert)."""
+
+    inputs: Dict[str, int]
+    message: str
+    line: int
+    run_index: int
+
+    def __str__(self) -> str:
+        return (
+            f"error at line {self.line}: {self.message!r} with inputs "
+            f"{self.inputs} (run #{self.run_index})"
+        )
+
+
+@dataclass
+class ExecutionRecord:
+    """Bookkeeping for one executed test."""
+
+    index: int
+    result: ConcolicResult
+    parent: Optional[int] = None
+    flipped_index: Optional[int] = None
+    diverged: bool = False
+    intermediate_runs: int = 0
+    #: branch outcomes this run covered for the first time
+    new_coverage: int = 0
+    note: str = ""
+
+
+@dataclass
+class SearchResult:
+    """Everything a search session produced."""
+
+    executions: List[ExecutionRecord] = field(default_factory=list)
+    errors: List[ErrorReport] = field(default_factory=list)
+    coverage: Optional[BranchCoverage] = None
+    divergences: int = 0
+    solver_calls: int = 0
+    runs: int = 0
+    distinct_paths: int = 0
+    #: wall-clock seconds spent in program execution vs test generation
+    time_total: float = 0.0
+    time_executing: float = 0.0
+    time_generating: float = 0.0
+
+    @property
+    def found_error(self) -> bool:
+        return bool(self.errors)
+
+    def summary(self) -> str:
+        cov = f"{self.coverage.ratio():.0%}" if self.coverage else "n/a"
+        return (
+            f"runs={self.runs} paths={self.distinct_paths} "
+            f"errors={len(self.errors)} divergences={self.divergences} "
+            f"coverage={cov}"
+        )
+
+    def tree_report(self, max_rows: int = 50) -> str:
+        """Human-readable genealogy of the executed tests.
+
+        One row per execution: index, parent run and flipped condition,
+        inputs, and what the run achieved (new coverage, error, probe,
+        divergence).
+        """
+        lines = ["idx  parent  flip  inputs"]
+        for record in self.executions[:max_rows]:
+            parent = "-" if record.parent is None else str(record.parent)
+            flip = "-" if record.flipped_index is None else str(record.flipped_index)
+            badges = []
+            if record.result.error:
+                badges.append(f"ERROR({record.result.error_message})")
+            if record.diverged:
+                badges.append("DIVERGED")
+            if record.new_coverage:
+                badges.append(f"+{record.new_coverage}cov")
+            if record.note:
+                badges.append(record.note)
+            badge = ("  " + " ".join(badges)) if badges else ""
+            lines.append(
+                f"{record.index:<4} {parent:>6}  {flip:>4}  "
+                f"{record.result.inputs}{badge}"
+            )
+        if len(self.executions) > max_rows:
+            lines.append(f"... ({len(self.executions) - max_rows} more)")
+        return "\n".join(lines)
+
+
+class DirectedSearch:
+    """DART-style directed search over a MiniC program.
+
+    Usage::
+
+        tm = TermManager()
+        engine = ConcolicEngine(prog, natives, ConcretizationMode.HIGHER_ORDER, tm)
+        store = SampleStore()
+        backend = HigherOrderBackend(tm, store)
+        search = DirectedSearch(engine, "foo", backend, store)
+        result = search.run({"x": 33, "y": 42})
+
+    The convenience constructor :meth:`for_mode` wires the standard
+    backend for each concretization mode.
+    """
+
+    def __init__(
+        self,
+        engine: ConcolicEngine,
+        entry: str,
+        backend: TestGenBackend,
+        store: Optional[SampleStore] = None,
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.entry = entry
+        self.backend = backend
+        self.store = store if store is not None else SampleStore()
+        self.config = config if config is not None else SearchConfig()
+        # late-bind the probe runner for multi-step backends
+        if getattr(backend, "probe_runner", "absent") is None:
+            backend.probe_runner = self._probe_runner  # type: ignore[attr-defined]
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def for_mode(
+        cls,
+        program: Program,
+        entry: str,
+        natives: NativeRegistry,
+        mode: ConcretizationMode,
+        config: Optional[SearchConfig] = None,
+        manager: Optional[TermManager] = None,
+        store: Optional[SampleStore] = None,
+        use_antecedent: bool = True,
+    ) -> "DirectedSearch":
+        """Build a search with the standard backend for ``mode``."""
+        from ..core.hotg import HigherOrderBackend
+        from .backends import QuantifierFreeBackend
+
+        tm = manager if manager is not None else TermManager()
+        engine = ConcolicEngine(program, natives, mode, tm)
+        store = store if store is not None else SampleStore()
+        if mode is ConcretizationMode.HIGHER_ORDER:
+            backend: TestGenBackend = HigherOrderBackend(
+                tm,
+                store,
+                probe_runner=None,  # wired by __init__
+                use_antecedent=use_antecedent,
+                max_steps=(config or SearchConfig()).max_multistep_probes,
+            )
+        else:
+            backend = QuantifierFreeBackend(tm)
+        return cls(engine, entry, backend, store, config)
+
+    # -- the search loop ------------------------------------------------------------
+
+    def run(self, seed_inputs: Dict[str, int]) -> SearchResult:
+        """Run the directed search from a seed input vector."""
+        import time as _time
+
+        t_start = _time.perf_counter()
+        result = SearchResult(coverage=BranchCoverage(self.engine.program))
+        self._result = result
+        seen_paths: Set[Tuple[Tuple[int, bool], ...]] = set()
+        seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
+
+        first = self._execute(seed_inputs, result, parent=None, flipped=None)
+        seen_paths.add(first.result.path_key)
+        seen_inputs.add(self._input_key(seed_inputs))
+        frontier: deque = deque([(first, 0)])
+
+        while frontier and result.runs < self.config.max_runs:
+            if self.config.frontier == "coverage":
+                # expand the pending run with the most newly covered
+                # branch outcomes first (ties: oldest first)
+                best = max(
+                    range(len(frontier)),
+                    key=lambda i: (
+                        frontier[i][0].new_coverage,
+                        -frontier[i][0].index,
+                    ),
+                )
+                record, start = frontier[best]
+                del frontier[best]
+            else:
+                record, start = frontier.popleft()
+            conditions = record.result.path_conditions
+            indices = [
+                i
+                for i in negatable_indices(conditions)
+                if i >= start and i < self.config.max_conditions_per_run
+            ]
+            for i in indices:
+                if result.runs >= self.config.max_runs:
+                    break
+                request = GenerationRequest(
+                    conditions=list(conditions),
+                    index=i,
+                    input_vars=dict(record.result.input_vars),
+                    defaults=dict(record.result.inputs),
+                )
+                t_gen = _time.perf_counter()
+                generated = self.backend.generate(request)
+                result.time_generating += _time.perf_counter() - t_gen
+                result.solver_calls += 1
+                if generated is None:
+                    continue
+                key = self._input_key(generated.inputs)
+                if self.config.dedupe_inputs and key in seen_inputs:
+                    continue
+                seen_inputs.add(key)
+                child = self._execute(
+                    generated.inputs, result, parent=record.index, flipped=i
+                )
+                child.intermediate_runs = generated.intermediate_runs
+                child.note = generated.note
+                child.diverged = self._diverged(record.result, i, child.result)
+                if child.diverged:
+                    result.divergences += 1
+                if child.result.path_key not in seen_paths:
+                    seen_paths.add(child.result.path_key)
+                    frontier.append((child, i + 1))
+                if result.errors and self.config.stop_on_first_error:
+                    result.distinct_paths = len(seen_paths)
+                    result.time_total = _time.perf_counter() - t_start
+                    return result
+        result.distinct_paths = len(seen_paths)
+        result.time_total = _time.perf_counter() - t_start
+        return result
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _input_key(inputs: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(inputs.items()))
+
+    def _execute(
+        self,
+        inputs: Dict[str, int],
+        result: SearchResult,
+        parent: Optional[int],
+        flipped: Optional[int],
+    ) -> ExecutionRecord:
+        import time as _time
+
+        t_exec = _time.perf_counter()
+        run = self.engine.run(self.entry, inputs)
+        result.time_executing += _time.perf_counter() - t_exec
+        self.store.merge_from_run(run)
+        record = ExecutionRecord(
+            index=len(result.executions),
+            result=run,
+            parent=parent,
+            flipped_index=flipped,
+        )
+        result.executions.append(record)
+        result.runs += 1
+        if result.coverage is not None:
+            record.new_coverage = result.coverage.record(run.covered)
+        if run.error:
+            result.errors.append(
+                ErrorReport(
+                    inputs=dict(inputs),
+                    message=run.error_message,
+                    line=run.error_line,
+                    run_index=record.index,
+                )
+            )
+        return record
+
+    def _probe_runner(self, inputs: Dict[str, int]) -> None:
+        """Execute an intermediate (multi-step) run, counting it."""
+        if self._result.runs >= self.config.max_runs:
+            raise ResourceLimitError("run budget exhausted during multi-step probe")
+        record = self._execute(inputs, self._result, parent=None, flipped=None)
+        record.note = "multi-step probe"
+
+    def _diverged(
+        self, parent: ConcolicResult, flipped_index: int, child: ConcolicResult
+    ) -> bool:
+        """Did the child fail to follow the predicted path?
+
+        Expected: the parent's branch trace up to the flipped condition's
+        occurrence, with the outcome at that occurrence negated
+        (paper §3.2's divergence check).
+        """
+        pos = parent.path_conditions[flipped_index].path_pos
+        if pos < 0:
+            return False  # flipped a non-branch condition; nothing to compare
+        expected = list(parent.path[:pos])
+        branch_id, taken = parent.path[pos]
+        expected.append((branch_id, not taken))
+        return child.path[: len(expected)] != expected

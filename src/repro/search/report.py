@@ -1,0 +1,107 @@
+"""Markdown session reports for testing campaigns.
+
+Renders a :class:`~repro.search.directed.SearchResult` (plus the sample
+store and program metadata) into a self-contained markdown document:
+summary, discovered errors with replay commands, branch coverage with
+missing outcomes, the execution genealogy, and the learned IOF samples.
+Wired into the CLI as ``--report out.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.samples import SampleStore
+from ..lang.ast import Program
+from .directed import SearchResult
+
+__all__ = ["render_report"]
+
+
+def render_report(
+    result: SearchResult,
+    program: Program,
+    entry: str,
+    mode: str = "",
+    store: Optional[SampleStore] = None,
+    title: str = "Testing session report",
+) -> str:
+    """Render a full markdown report of one search session."""
+    lines = [f"# {title}", ""]
+    lines.append(f"- entry function: `{entry}`")
+    if mode:
+        lines.append(f"- engine: `{mode}`")
+    lines.append(f"- executions: {result.runs}")
+    lines.append(f"- distinct paths: {result.distinct_paths}")
+    lines.append(f"- solver calls: {result.solver_calls}")
+    lines.append(f"- divergences: {result.divergences}")
+    if result.time_total:
+        lines.append(
+            f"- wall time: {result.time_total:.2f}s "
+            f"(executing {result.time_executing:.2f}s, "
+            f"generating {result.time_generating:.2f}s)"
+        )
+    lines.append("")
+
+    lines.append("## Errors")
+    lines.append("")
+    if not result.errors:
+        lines.append("No errors found within the run budget.")
+    else:
+        for i, err in enumerate(result.errors):
+            lines.append(f"### Error {i + 1}: {err.message}")
+            lines.append("")
+            lines.append(f"- line: {err.line}")
+            lines.append(f"- found at run: #{err.run_index}")
+            inputs = ",".join(f"{k}={v}" for k, v in sorted(err.inputs.items()))
+            lines.append(f"- inputs: `{inputs}`")
+            lines.append(
+                f"- replay: `python -m repro run <program> --seed {inputs} "
+                f"--max-runs 1`"
+            )
+            lines.append("")
+
+    lines.append("## Branch coverage")
+    lines.append("")
+    if result.coverage is not None:
+        cov = result.coverage
+        lines.append(
+            f"{len(cov.covered)}/{cov.total_outcomes} outcomes "
+            f"({cov.ratio():.0%})"
+        )
+        missing = cov.missing()
+        if missing:
+            lines.append("")
+            lines.append("Missing outcomes:")
+            by_id = {bid: line for bid, line in program.branch_sites()}
+            for branch_id, polarity in missing:
+                side = "then" if polarity else "else"
+                lines.append(
+                    f"- branch {branch_id} ({side} side), "
+                    f"line {by_id.get(branch_id, '?')}"
+                )
+        lines.append("")
+        if cov.history:
+            lines.append("Coverage growth (run, outcomes):")
+            shown = cov.history[:: max(1, len(cov.history) // 12)]
+            lines.append(
+                ", ".join(f"({r}, {c})" for r, c in shown)
+            )
+        lines.append("")
+
+    if store is not None and len(store) > 0:
+        lines.append("## Learned function samples (IOF)")
+        lines.append("")
+        for sample in store.samples()[:40]:
+            lines.append(f"- `{sample}`")
+        if len(store) > 40:
+            lines.append(f"- ... ({len(store) - 40} more)")
+        lines.append("")
+
+    lines.append("## Execution genealogy")
+    lines.append("")
+    lines.append("```")
+    lines.append(result.tree_report(max_rows=60))
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)

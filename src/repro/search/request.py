@@ -1,0 +1,44 @@
+"""Shared datatypes between the directed search and test-gen backends.
+
+Kept dependency-free so both :mod:`repro.search.backends` and
+:mod:`repro.core.hotg` can import them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from ..solver.terms import Term
+from ..symbolic.concolic import PathCondition
+
+__all__ = ["GenerationRequest", "GeneratedTest", "TestGenBackend"]
+
+
+@dataclass
+class GenerationRequest:
+    """Everything a backend needs to derive a new test."""
+
+    conditions: List[PathCondition]
+    index: int
+    input_vars: Dict[str, Term]
+    #: previous run's concrete inputs — reused for unconstrained variables
+    defaults: Dict[str, int]
+
+
+@dataclass
+class GeneratedTest:
+    """A concrete input vector proposed by a backend."""
+
+    inputs: Dict[str, int]
+    #: number of intermediate program runs spent (multi-step generation)
+    intermediate_runs: int = 0
+    note: str = ""
+
+
+class TestGenBackend(Protocol):
+    """Protocol implemented by all test-generation backends."""
+
+    def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
+        """Return inputs driving execution down the flipped branch, or None."""
+        ...

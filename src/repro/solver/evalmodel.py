@@ -1,0 +1,95 @@
+"""Evaluation of terms under a :class:`~repro.solver.smt.Model`.
+
+Used both as the solver's model-verification safety net and by the validity
+engine to evaluate candidate strategies against adversary functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..errors import SolverError
+from .smt import Model
+from .terms import Kind, Sort, Term
+
+__all__ = ["evaluate", "evaluate_with_oracle"]
+
+
+def evaluate_with_oracle(
+    term: Term,
+    ints: Dict[str, int],
+    oracle: Callable[[str, Tuple[int, ...]], int],
+) -> Union[int, bool]:
+    """Evaluate ``term`` calling ``oracle(fn_name, args)`` for UF applications.
+
+    This gives terms their *real-world* semantics: uninterpreted function
+    applications are resolved by the actual (opaque) implementation instead
+    of a finite model table.  Used to state the paper's soundness theorems
+    precisely: an input satisfies a path constraint iff the constraint
+    evaluates true under the real functions.
+    """
+
+    class _OracleModel(Model):
+        def apply(self, fn, args):  # type: ignore[override]
+            return oracle(fn.name, args)
+
+    return evaluate(term, _OracleModel(ints=dict(ints)))
+
+
+def evaluate(term: Term, model: Model) -> Union[int, bool]:
+    """Evaluate ``term`` to a Python int or bool under ``model``.
+
+    Unassigned variables take the model's default value; uninterpreted
+    function applications are looked up in the model's finite tables, also
+    falling back to the default for unlisted points.
+    """
+    cache: Dict[Term, Union[int, bool]] = {}
+
+    def walk(t: Term) -> Union[int, bool]:
+        cached = cache.get(t)
+        if cached is not None or t in cache:
+            return cache[t]
+        value = _eval_node(t, walk, model)
+        cache[t] = value
+        return value
+
+    return walk(term)
+
+
+def _eval_node(t: Term, walk, model: Model) -> Union[int, bool]:
+    k = t.kind
+    if k is Kind.CONST_INT:
+        return int(t.value)  # type: ignore[arg-type]
+    if k is Kind.CONST_BOOL:
+        return bool(t.value)
+    if k is Kind.VAR:
+        if t.sort is Sort.INT:
+            return model.ints.get(t.name or "", model.default)
+        return model.bools.get(t.name or "", False)
+    if k is Kind.APP:
+        assert t.fn is not None
+        args = tuple(int(walk(a)) for a in t.args)
+        return model.apply(t.fn, args)
+    if k is Kind.ADD:
+        return sum(int(walk(a)) for a in t.args)
+    if k is Kind.NEG:
+        return -int(walk(t.args[0]))
+    if k is Kind.MUL:
+        return int(walk(t.args[0])) * int(walk(t.args[1]))
+    if k is Kind.EQ:
+        return walk(t.args[0]) == walk(t.args[1])
+    if k is Kind.LE:
+        return int(walk(t.args[0])) <= int(walk(t.args[1]))
+    if k is Kind.LT:
+        return int(walk(t.args[0])) < int(walk(t.args[1]))
+    if k is Kind.NOT:
+        return not walk(t.args[0])
+    if k is Kind.AND:
+        return all(bool(walk(a)) for a in t.args)
+    if k is Kind.OR:
+        return any(bool(walk(a)) for a in t.args)
+    if k is Kind.IMPLIES:
+        return (not walk(t.args[0])) or bool(walk(t.args[1]))
+    if k is Kind.ITE:
+        return walk(t.args[1]) if walk(t.args[0]) else walk(t.args[2])
+    raise SolverError(f"cannot evaluate term of kind {k}")

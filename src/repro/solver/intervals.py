@@ -1,0 +1,178 @@
+"""Interval (bounds) propagation: a presolver for integer linear arithmetic.
+
+Classic bound tightening: given normalized constraints
+``sum(c_i * x_i) <= k`` and ``= k``, repeatedly derive variable bounds
+
+    c_j * x_j  <=  k - sum_{i != j} min(c_i * x_i)
+
+until a fixpoint (or a round budget).  Three outcomes:
+
+- a conflict (``lo > hi`` for some variable) with a provenance core of
+  constraint tags — the conjunction is UNSAT without ever pivoting;
+- tightened variable bounds that seed the simplex and shrink
+  branch-and-bound trees;
+- nothing, in which case the full decision procedure takes over.
+
+Every derived bound carries the set of constraint tags it depends on, so
+conflicts report valid (if not minimal) unsatisfiable cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = ["Bound", "BoundsAnalysis"]
+
+
+@dataclass
+class Bound:
+    """One side of a variable's interval, with provenance tags."""
+
+    value: int
+    tags: FrozenSet[object] = frozenset()
+
+
+@dataclass
+class BoundsAnalysis:
+    """Interval propagation over normalized linear integer constraints.
+
+    Usage::
+
+        ba = BoundsAnalysis(num_vars)
+        ba.add_le({0: 2, 1: -1}, 5, tag="c1")   # 2*x0 - x1 <= 5
+        outcome = ba.propagate()
+        if outcome is not None:     # conflict core
+            ...
+        lo, hi = ba.interval(0)
+    """
+
+    num_vars: int
+    max_rounds: int = 30
+    _les: List[Tuple[Dict[int, int], int, object]] = field(default_factory=list)
+    _lower: List[Optional[Bound]] = field(default_factory=list)
+    _upper: List[Optional[Bound]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lower = [None] * self.num_vars
+        self._upper = [None] * self.num_vars
+
+    # -- constraint intake -------------------------------------------------
+
+    def add_le(self, coeffs: Dict[int, int], const: int, tag: object = None) -> None:
+        """Register ``sum(coeffs) <= const``."""
+        nonzero = {v: c for v, c in coeffs.items() if c != 0}
+        if nonzero:
+            self._les.append((nonzero, const, tag))
+
+    def add_eq(self, coeffs: Dict[int, int], const: int, tag: object = None) -> None:
+        """Register ``sum(coeffs) = const`` as two inequalities."""
+        self.add_le(coeffs, const, tag)
+        self.add_le({v: -c for v, c in coeffs.items()}, -const, tag)
+
+    # -- propagation -----------------------------------------------------------
+
+    def _tighten_upper(self, var: int, value: int, tags: FrozenSet[object]) -> bool:
+        current = self._upper[var]
+        if current is None or value < current.value:
+            self._upper[var] = Bound(value, tags)
+            return True
+        return False
+
+    def _tighten_lower(self, var: int, value: int, tags: FrozenSet[object]) -> bool:
+        current = self._lower[var]
+        if current is None or value > current.value:
+            self._lower[var] = Bound(value, tags)
+            return True
+        return False
+
+    def propagate(self) -> Optional[List[object]]:
+        """Run propagation; returns a conflict core or None.
+
+        A returned core is a list of constraint tags whose conjunction is
+        integer-infeasible.
+        """
+        for _round in range(self.max_rounds):
+            changed = False
+            for coeffs, const, tag in self._les:
+                # residual = const - sum over other vars of their minimal
+                # contribution; derive a bound for each var in turn
+                for var, coeff in coeffs.items():
+                    residual = const
+                    tags = {tag} if tag is not None else set()
+                    feasible = True
+                    for other, c2 in coeffs.items():
+                        if other == var:
+                            continue
+                        contrib = self._min_contribution(other, c2)
+                        if contrib is None:
+                            feasible = False
+                            break
+                        value, used = contrib
+                        residual -= value
+                        tags |= used
+                    if not feasible:
+                        continue
+                    frozen = frozenset(tags)
+                    if coeff > 0:
+                        # var <= floor(residual / coeff)
+                        bound = _floor_div(residual, coeff)
+                        changed |= self._tighten_upper(var, bound, frozen)
+                    else:
+                        # var >= ceil(residual / coeff) with coeff < 0
+                        bound = _ceil_div(residual, coeff)
+                        changed |= self._tighten_lower(var, bound, frozen)
+                    conflict = self._conflict_at(var)
+                    if conflict is not None:
+                        return conflict
+            if not changed:
+                return None
+        return None
+
+    def _min_contribution(
+        self, var: int, coeff: int
+    ) -> Optional[Tuple[int, FrozenSet[object]]]:
+        """Minimum of ``coeff * var`` under current bounds, or None."""
+        if coeff > 0:
+            bound = self._lower[var]
+            if bound is None:
+                return None
+            return coeff * bound.value, bound.tags
+        bound = self._upper[var]
+        if bound is None:
+            return None
+        return coeff * bound.value, bound.tags
+
+    def _conflict_at(self, var: int) -> Optional[List[object]]:
+        lo, hi = self._lower[var], self._upper[var]
+        if lo is not None and hi is not None and lo.value > hi.value:
+            core = list(lo.tags | hi.tags)
+            return core
+        return None
+
+    # -- results --------------------------------------------------------------
+
+    def interval(self, var: int) -> Tuple[Optional[int], Optional[int]]:
+        """Current (lower, upper) bounds of ``var``."""
+        lo = self._lower[var].value if self._lower[var] is not None else None
+        hi = self._upper[var].value if self._upper[var] is not None else None
+        return lo, hi
+
+    def bounded_vars(self) -> List[int]:
+        """Variables with at least one derived bound."""
+        return [
+            v
+            for v in range(self.num_vars)
+            if self._lower[v] is not None or self._upper[v] is not None
+        ]
+
+
+def _floor_div(a: int, b: int) -> int:
+    """Floor division valid for b > 0 (Python's // already floors)."""
+    return a // b
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Ceiling of a / b for b != 0."""
+    q, r = divmod(a, b)
+    return q + (1 if r else 0)

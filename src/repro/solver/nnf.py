@@ -1,0 +1,134 @@
+"""Negation normal form and branch enumeration for boolean terms.
+
+The validity engine's triangular strategy extraction works over
+*conjunctive branches* of a path constraint.  Raw alternate constraints
+contain negations of conjunctions (``¬(A ∧ B)`` from flipping a strict
+``&&`` condition), implications, and boolean if-then-else; this module
+normalizes them so De Morgan'd disjuncts are enumerated properly:
+
+- :func:`to_nnf` pushes negations down to atoms, eliminating ``=>``,
+  boolean ``=`` (iff) and boolean ``ite`` along the way;
+- :func:`conjunctive_branches` enumerates up to ``limit`` conjunct lists
+  whose disjunction covers (a subset of) the formula — each branch is a
+  sufficient condition for the original formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import SolverError
+from .terms import Kind, Sort, Term, TermManager
+
+__all__ = ["to_nnf", "conjunctive_branches", "atoms_of"]
+
+
+def to_nnf(tm: TermManager, term: Term) -> Term:
+    """Rewrite a boolean term into negation normal form.
+
+    The result contains only AND, OR, atoms, and negated atoms;
+    ``=>``, boolean ``=``/``ite`` and nested negations are compiled away.
+    Integer-sorted subterms are untouched.
+    """
+    if term.sort is not Sort.BOOL:
+        raise SolverError(f"to_nnf expects a boolean term, got {term}")
+    cache: Dict[Tuple[Term, bool], Term] = {}
+
+    def walk(t: Term, negate: bool) -> Term:
+        key = (t, negate)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        result = _nnf_node(tm, t, negate, walk)
+        cache[key] = result
+        return result
+
+    return walk(term, False)
+
+
+def _nnf_node(tm: TermManager, t: Term, negate: bool, walk) -> Term:
+    k = t.kind
+    if k is Kind.NOT:
+        return walk(t.args[0], not negate)
+    if k is Kind.AND:
+        parts = [walk(a, negate) for a in t.args]
+        return tm.mk_or(*parts) if negate else tm.mk_and(*parts)
+    if k is Kind.OR:
+        parts = [walk(a, negate) for a in t.args]
+        return tm.mk_and(*parts) if negate else tm.mk_or(*parts)
+    if k is Kind.IMPLIES:
+        a, b = t.args
+        if negate:  # ¬(a ⇒ b) = a ∧ ¬b
+            return tm.mk_and(walk(a, False), walk(b, True))
+        return tm.mk_or(walk(a, True), walk(b, False))
+    if k is Kind.EQ and t.args[0].sort is Sort.BOOL:
+        a, b = t.args
+        if negate:  # xor
+            return tm.mk_or(
+                tm.mk_and(walk(a, False), walk(b, True)),
+                tm.mk_and(walk(a, True), walk(b, False)),
+            )
+        return tm.mk_or(
+            tm.mk_and(walk(a, False), walk(b, False)),
+            tm.mk_and(walk(a, True), walk(b, True)),
+        )
+    if k is Kind.ITE and t.sort is Sort.BOOL:
+        c, a, b = t.args
+        # ite(c,a,b) = (c ∧ a) ∨ (¬c ∧ b); negation handled on branches
+        return tm.mk_or(
+            tm.mk_and(walk(c, False), walk(a, negate)),
+            tm.mk_and(walk(c, True), walk(b, negate)),
+        )
+    if k is Kind.CONST_BOOL:
+        return tm.mk_bool(bool(t.value) != negate)
+    # atoms: relational terms and boolean variables
+    return tm.mk_not(t) if negate else t
+
+
+def conjunctive_branches(
+    tm: TermManager, term: Term, limit: int = 16
+) -> List[List[Term]]:
+    """Enumerate up to ``limit`` conjunct lists covering the formula.
+
+    The input is first normalized with :func:`to_nnf`; the result's
+    branches are the disjuncts of a (truncated) DNF expansion.  Each
+    returned list `L` satisfies ``AND(L) ⇒ term``, so a strategy that
+    validates one branch validates the whole alternate constraint.
+    """
+    nnf = to_nnf(tm, term)
+
+    def split(t: Term) -> List[List[Term]]:
+        if t.kind is Kind.AND:
+            branches: List[List[Term]] = [[]]
+            for arg in t.args:
+                sub = split(arg)
+                combined = []
+                for b in branches:
+                    for s in sub:
+                        combined.append(b + s)
+                        if len(combined) >= limit:
+                            break
+                    if len(combined) >= limit:
+                        break
+                branches = combined
+            return branches
+        if t.kind is Kind.OR:
+            out: List[List[Term]] = []
+            for arg in t.args:
+                out.extend(split(arg))
+                if len(out) >= limit:
+                    break
+            return out[:limit]
+        return [[t]]
+
+    return split(nnf)[:limit]
+
+
+def atoms_of(term: Term) -> List[Term]:
+    """All distinct boolean atoms of a formula, in term-id order."""
+    seen = []
+    for t in term.iter_dag():
+        if t.is_atom and t.kind is not Kind.CONST_BOOL:
+            seen.append(t)
+    seen.sort(key=lambda t: t.tid)
+    return seen

@@ -1,0 +1,126 @@
+"""SMT-LIB 2 export of terms, assertions, and validity queries.
+
+Useful for debugging and for cross-checking this library's verdicts
+against an external solver when one is available.  The exported scripts
+use only core SMT-LIB (``QF_UFLIA`` for satisfiability queries, ``UFLIA``
+with an explicit universal quantifier for validity queries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..errors import SolverError
+from .terms import FunctionSymbol, Kind, Sort, Term, TermManager
+from .validity import Sample
+
+__all__ = ["term_to_smtlib", "script_for_sat", "script_for_validity"]
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render one term as an SMT-LIB 2 s-expression."""
+    k = term.kind
+    if k is Kind.CONST_INT:
+        value = int(term.value)  # type: ignore[arg-type]
+        return str(value) if value >= 0 else f"(- {-value})"
+    if k is Kind.CONST_BOOL:
+        return "true" if term.value else "false"
+    if k is Kind.VAR:
+        return str(term.name)
+    if k is Kind.APP:
+        assert term.fn is not None
+        inner = " ".join(term_to_smtlib(a) for a in term.args)
+        return f"({term.fn.name} {inner})"
+    if k is Kind.NEG:
+        return f"(- {term_to_smtlib(term.args[0])})"
+    op_map = {
+        Kind.ADD: "+",
+        Kind.MUL: "*",
+        Kind.EQ: "=",
+        Kind.LE: "<=",
+        Kind.LT: "<",
+        Kind.NOT: "not",
+        Kind.AND: "and",
+        Kind.OR: "or",
+        Kind.IMPLIES: "=>",
+        Kind.ITE: "ite",
+    }
+    op = op_map.get(k)
+    if op is None:
+        raise SolverError(f"cannot render kind {k} as SMT-LIB")
+    inner = " ".join(term_to_smtlib(a) for a in term.args)
+    return f"({op} {inner})"
+
+
+def _declarations(formulas: Sequence[Term]) -> List[str]:
+    vars_seen: Set[Term] = set()
+    fns_seen: Set[FunctionSymbol] = set()
+    for f in formulas:
+        for t in f.iter_dag():
+            if t.is_var:
+                vars_seen.add(t)
+            elif t.is_app and t.fn is not None:
+                fns_seen.add(t.fn)
+    lines = []
+    for fn in sorted(fns_seen, key=lambda f: f.name):
+        domain = " ".join(["Int"] * fn.arity)
+        lines.append(f"(declare-fun {fn.name} ({domain}) Int)")
+    for v in sorted(vars_seen, key=lambda t: t.name or ""):
+        sort = "Int" if v.sort is Sort.INT else "Bool"
+        lines.append(f"(declare-const {v.name} {sort})")
+    return lines
+
+
+def script_for_sat(formulas: Sequence[Term], logic: str = "QF_UFLIA") -> str:
+    """An SMT-LIB script asserting ``formulas`` and checking satisfiability."""
+    lines = [f"(set-logic {logic})"]
+    lines.extend(_declarations(formulas))
+    for f in formulas:
+        lines.append(f"(assert {term_to_smtlib(f)})")
+    lines.append("(check-sat)")
+    lines.append("(get-model)")
+    return "\n".join(lines) + "\n"
+
+
+def script_for_validity(
+    tm: TermManager,
+    pc: Term,
+    input_vars: Sequence[Term],
+    samples: Sequence[Sample] = (),
+) -> str:
+    """An SMT-LIB script for the paper's validity query ``∀F ∃X (A ⇒ pc)``.
+
+    Validity is encoded as unsatisfiability of the negation
+    ``∀X ¬(A ⇒ pc)`` with the function symbols free (implicitly
+    universally... existential in the negated form): the script asserts
+    ``(forall (X) (not (=> A pc)))`` and expects ``unsat`` iff the
+    original formula is valid.
+    """
+    antecedent_terms = [
+        tm.mk_eq(
+            tm.mk_app(s.fn, [tm.mk_int(a) for a in s.args]), tm.mk_int(s.value)
+        )
+        for s in samples
+    ]
+    antecedent = tm.mk_and(*antecedent_terms) if antecedent_terms else tm.true_
+    matrix = tm.mk_implies(antecedent, pc)
+
+    lines = ["(set-logic UFLIA)"]
+    # declare functions only; input vars are bound by the quantifier
+    input_set = set(input_vars)
+    fns_seen: Set[FunctionSymbol] = set()
+    free_vars: Set[Term] = set()
+    for t in matrix.iter_dag():
+        if t.is_app and t.fn is not None:
+            fns_seen.add(t.fn)
+        elif t.is_var and t not in input_set:
+            free_vars.add(t)
+    for fn in sorted(fns_seen, key=lambda f: f.name):
+        domain = " ".join(["Int"] * fn.arity)
+        lines.append(f"(declare-fun {fn.name} ({domain}) Int)")
+    for v in sorted(free_vars, key=lambda t: t.name or ""):
+        lines.append(f"(declare-const {v.name} Int)")
+    bound = " ".join(f"({v.name} Int)" for v in input_vars)
+    lines.append(f"(assert (forall ({bound}) (not {term_to_smtlib(matrix)})))")
+    lines.append("(check-sat)  ; unsat here means the POST formula is VALID")
+    return "\n".join(lines) + "\n"

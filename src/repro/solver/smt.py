@@ -1,0 +1,417 @@
+"""SMT solver facade: quantifier-free linear integer arithmetic + EUF.
+
+This module glues the components of the from-scratch solver into the
+standard ``assert / check / model`` interface used by the rest of the
+library:
+
+- :mod:`.terms` — hash-consed formula representation,
+- :mod:`.cnf` + :mod:`.sat` — boolean reasoning (CDCL),
+- :mod:`.lia` — conjunctive linear integer arithmetic,
+- Ackermann's reduction — uninterpreted functions become fresh integer
+  variables plus functional-consistency constraints, a classical complete
+  encoding of EUF into equality logic for quantifier-free formulas.
+
+The check loop is *lazy SMT*: the SAT solver proposes boolean models, the
+LIA solver refutes theory-inconsistent ones with blocking clauses built from
+conflict cores, until either a theory-consistent model emerges or the
+boolean abstraction is exhausted.
+
+Every satisfiable answer is *verified* by evaluating all assertions under
+the constructed model (see :mod:`.evalmodel`), so a bug anywhere in the
+solver stack surfaces as a loud :class:`~repro.errors.SolverError` instead
+of a silently wrong test input.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ResourceLimitError, SolverError
+from .cnf import CnfConverter
+from .lia import LiaSolver
+from .sat import SatSolver
+from .terms import FunctionSymbol, Kind, Sort, Term, TermManager
+
+__all__ = ["Solver", "Model", "CheckResult", "ackermannize"]
+
+
+@dataclass
+class Model:
+    """A first-order model: integer variables plus finite UF tables.
+
+    ``functions`` maps each uninterpreted symbol to a finite table of
+    ``args -> value`` entries; ``default`` is returned for unlisted points
+    (the solver is free to choose it, mirroring the paper's observation that
+    a satisfiability check "invents" function behaviour outside recorded
+    points).
+    """
+
+    ints: Dict[str, int] = field(default_factory=dict)
+    bools: Dict[str, bool] = field(default_factory=dict)
+    functions: Dict[FunctionSymbol, Dict[Tuple[int, ...], int]] = field(
+        default_factory=dict
+    )
+    default: int = 0
+
+    def int_value(self, name: str) -> int:
+        """Value of an integer variable (0 when unconstrained)."""
+        return self.ints.get(name, self.default)
+
+    def apply(self, fn: FunctionSymbol, args: Tuple[int, ...]) -> int:
+        """Value of ``fn(args)`` under this model."""
+        return self.functions.get(fn, {}).get(args, self.default)
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.ints.items())]
+        parts += [f"{k}={v}" for k, v in sorted(self.bools.items())]
+        for fn, table in self.functions.items():
+            for args, val in sorted(table.items()):
+                inner = ",".join(map(str, args))
+                parts.append(f"{fn.name}({inner})={val}")
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of :meth:`Solver.check`."""
+
+    sat: bool
+    model: Optional[Model] = None
+    #: Number of lazy-loop iterations (SAT models proposed).
+    iterations: int = 0
+
+
+def eliminate_int_ite(tm: TermManager, term: Term) -> Tuple[Term, List[Term]]:
+    """Pull integer-sorted ITE nodes out of ``term``.
+
+    Each ``ite(c, a, b) : Int`` becomes a fresh variable ``v`` with side
+    conditions ``c => v = a`` and ``not c => v = b``.  Returns the rewritten
+    term and the side conditions (which the caller must also assert).
+    """
+    sides: List[Term] = []
+    cache: Dict[Term, Term] = {}
+
+    def walk(t: Term) -> Term:
+        cached = cache.get(t)
+        if cached is not None:
+            return cached
+        if not t.args:
+            cache[t] = t
+            return t
+        new_args = tuple(walk(a) for a in t.args)
+        if t.kind is Kind.ITE and t.sort is Sort.INT:
+            cond, then_t, else_t = new_args
+            fresh = tm.fresh_var("_ite")
+            sides.append(tm.mk_implies(cond, tm.mk_eq(fresh, then_t)))
+            sides.append(tm.mk_implies(tm.mk_not(cond), tm.mk_eq(fresh, else_t)))
+            result = fresh
+        elif new_args == t.args:
+            result = t
+        else:
+            result = tm._rebuild(t, new_args)
+        cache[t] = result
+        return result
+
+    rewritten = walk(term)
+    return rewritten, sides
+
+
+def ackermannize(
+    tm: TermManager, formulas: Sequence[Term]
+) -> Tuple[List[Term], Dict[Term, Term], List[Term]]:
+    """Ackermann's reduction: replace UF applications by fresh variables.
+
+    Returns ``(rewritten_formulas, app_to_var, consistency_constraints)``.
+    Applications are processed innermost-first so that nested applications
+    like ``h(h(x))`` are handled correctly: the outer application's argument
+    list refers to the *rewritten* inner application variable, and the
+    functional-consistency constraints compare rewritten arguments.
+
+    For every pair of applications of the same symbol::
+
+        (arg1 = arg1' and ... and argN = argN') => a_i = a_j
+    """
+    # Collect all applications across all formulas, innermost first (by the
+    # manager's creation order: children always have smaller ids).
+    apps: List[Term] = []
+    seen: Set[Term] = set()
+    for f in formulas:
+        for t in f.iter_dag():
+            if t.is_app and t not in seen:
+                seen.add(t)
+                apps.append(t)
+    apps.sort(key=lambda t: t.tid)
+
+    app_to_var: Dict[Term, Term] = {}
+    rewritten_args: Dict[Term, Tuple[Term, ...]] = {}
+    mapping: Dict[Term, Term] = {}
+    for app in apps:
+        new_args = tuple(tm.substitute(a, mapping) for a in app.args)
+        assert app.fn is not None
+        var = tm.fresh_var(f"_app_{app.fn.name}_")
+        app_to_var[app] = var
+        rewritten_args[app] = new_args
+        mapping[app] = var
+
+    constraints: List[Term] = []
+    by_fn: Dict[FunctionSymbol, List[Term]] = {}
+    for app in apps:
+        assert app.fn is not None
+        by_fn.setdefault(app.fn, []).append(app)
+    for fn, fn_apps in by_fn.items():
+        for a1, a2 in itertools.combinations(fn_apps, 2):
+            arg_eqs = [
+                tm.mk_eq(x, y)
+                for x, y in zip(rewritten_args[a1], rewritten_args[a2])
+            ]
+            constraints.append(
+                tm.mk_implies(
+                    tm.mk_and(*arg_eqs), tm.mk_eq(app_to_var[a1], app_to_var[a2])
+                )
+            )
+
+    new_formulas = [tm.substitute(f, mapping) for f in formulas]
+    return new_formulas, app_to_var, constraints
+
+
+class Solver:
+    """Incremental-feeling SMT solver for QF linear integer arithmetic + EUF.
+
+    Usage::
+
+        tm = TermManager()
+        s = Solver(tm)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        h = tm.mk_function("h", 1)
+        s.add(tm.mk_eq(x, tm.mk_app(h, [y])))
+        result = s.check()
+        assert result.sat
+
+    ``push``/``pop`` provide assertion scoping; each :meth:`check` call
+    re-encodes from scratch (simple and robust at this project's scale).
+    """
+
+    def __init__(
+        self,
+        manager: Optional[TermManager] = None,
+        max_iterations: int = 5_000,
+        max_conflicts: int = 500_000,
+        verify_models: bool = True,
+    ) -> None:
+        self.tm = manager if manager is not None else TermManager()
+        self._assertions: List[Term] = []
+        self._scopes: List[int] = []
+        self._max_iterations = max_iterations
+        self._max_conflicts = max_conflicts
+        self._verify_models = verify_models
+        self.last_iterations = 0
+
+    # -- assertion management ---------------------------------------------------
+
+    def add(self, *formulas: Term) -> None:
+        """Assert one or more boolean terms."""
+        for f in formulas:
+            if f.sort is not Sort.BOOL:
+                raise SolverError(f"cannot assert non-boolean term {f}")
+            self._assertions.append(f)
+
+    def push(self) -> None:
+        """Open an assertion scope."""
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Close the innermost assertion scope."""
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        del self._assertions[self._scopes.pop():]
+
+    @property
+    def assertions(self) -> List[Term]:
+        return list(self._assertions)
+
+    # -- solving -----------------------------------------------------------------
+
+    def check(self, *extra: Term) -> CheckResult:
+        """Decide the conjunction of all assertions (plus ``extra``)."""
+        tm = self.tm
+        goal = list(self._assertions) + list(extra)
+        if not goal:
+            return CheckResult(sat=True, model=Model())
+
+        # 1) eliminate integer ITEs
+        flat: List[Term] = []
+        for f in goal:
+            rewritten, sides = eliminate_int_ite(tm, f)
+            flat.append(rewritten)
+            flat.extend(sides)
+
+        # 2) Ackermannize UF applications
+        pure, app_to_var, consistency = ackermannize(tm, flat)
+        all_formulas = pure + consistency
+
+        # 3) boolean encoding
+        sat = SatSolver(max_conflicts=self._max_conflicts)
+        cnf = CnfConverter(tm, sat)
+        for f in all_formulas:
+            cnf.assert_formula(f)
+
+        # 4) lazy theory loop
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._max_iterations:
+                raise ResourceLimitError(
+                    f"lazy SMT loop exceeded {self._max_iterations} iterations"
+                )
+            sat_result = sat.solve()
+            if not sat_result.sat:
+                self.last_iterations = iterations
+                return CheckResult(sat=False, iterations=iterations)
+
+            literals = cnf.model_literals(sat_result.model)
+            theory_lits = [
+                (atom, pol) for atom, pol in literals if atom.kind is not Kind.VAR
+            ]
+            ok, core, int_model = self._check_theory(theory_lits)
+            if ok:
+                model = self._build_model(
+                    tm, sat_result.model, cnf, int_model, app_to_var, flat
+                )
+                self.last_iterations = iterations
+                return CheckResult(sat=True, model=model, iterations=iterations)
+
+            # block this boolean assignment via the conflicting literals
+            blocking: List[int] = []
+            for atom, pol in core:
+                lit = cnf.literal_for(atom)
+                blocking.append(-lit if pol else lit)
+            if not blocking:
+                raise SolverError("theory conflict produced an empty core")
+            sat.add_clause(blocking)
+
+    # -- theory checking -------------------------------------------------------------
+
+    def _check_theory(
+        self, literals: List[Tuple[Term, bool]]
+    ) -> Tuple[bool, List[Tuple[Term, bool]], Dict[str, int]]:
+        """Check a conjunction of arithmetic literals with the LIA solver.
+
+        Returns ``(sat, conflict_core, int_model)`` where the core entries
+        are (atom, polarity) pairs from the input.
+        """
+        tm = self.tm
+        lia = LiaSolver()
+        var_ids: Dict[Term, int] = {}
+
+        def var_id(v: Term) -> int:
+            idx = var_ids.get(v)
+            if idx is None:
+                idx = lia.new_var(v.name or f"t{v.tid}")
+                var_ids[v] = idx
+            return idx
+
+        for atom, pol in literals:
+            if atom.kind is Kind.CONST_BOOL:
+                if bool(atom.value) != pol:
+                    return False, [(atom, pol)], {}
+                continue
+            lhs, rhs = atom.args
+            coeffs_l, const_l = tm.linearize(lhs)
+            coeffs_r, const_r = tm.linearize(rhs)
+            # lhs - rhs OP 0  =>  sum coeffs <= / = / != (const_r - const_l)
+            coeffs: Dict[int, int] = {}
+            for t, c in coeffs_l.items():
+                coeffs[var_id(t)] = coeffs.get(var_id(t), 0) + int(c)
+            for t, c in coeffs_r.items():
+                coeffs[var_id(t)] = coeffs.get(var_id(t), 0) - int(c)
+            const = int(const_r - const_l)
+            tag = (atom, pol)
+            if atom.kind is Kind.EQ:
+                if pol:
+                    lia.add_eq(coeffs, const, tag)
+                else:
+                    lia.add_diseq(coeffs, const, tag)
+            elif atom.kind is Kind.LE:
+                if pol:
+                    lia.add_le(coeffs, const, tag)
+                else:
+                    lia.add_gt(coeffs, const, tag)
+            elif atom.kind is Kind.LT:
+                if pol:
+                    lia.add_lt(coeffs, const, tag)
+                else:
+                    lia.add_ge(coeffs, const, tag)
+            else:
+                raise SolverError(f"unsupported theory atom {atom}")
+
+        result = lia.check()
+        if result.sat:
+            model = {
+                v.name or f"t{v.tid}": result.model.get(idx, 0)
+                for v, idx in var_ids.items()
+            }
+            return True, [], model
+        core = [t for t in result.core if isinstance(t, tuple) and len(t) == 2]
+        if not core:
+            core = list(literals)
+        return False, core, {}
+
+    # -- model construction ----------------------------------------------------------
+
+    def _build_model(
+        self,
+        tm: TermManager,
+        sat_model: Dict[int, bool],
+        cnf: CnfConverter,
+        int_model: Dict[str, int],
+        app_to_var: Dict[Term, Term],
+        original: List[Term],
+    ) -> Model:
+        model = Model()
+        # integer variables mentioned anywhere in the (rewritten) formulas
+        for f in original:
+            for t in f.iter_dag():
+                if t.is_var and t.sort is Sort.INT and t.name is not None:
+                    model.ints.setdefault(t.name, int_model.get(t.name, 0))
+        for name, value in int_model.items():
+            model.ints.setdefault(name, value)
+        # boolean atoms that are plain variables
+        for atom, svar in cnf.atoms.items():
+            if atom.kind is Kind.VAR and atom.sort is Sort.BOOL and svar in sat_model:
+                model.bools[atom.name or f"b{atom.tid}"] = sat_model[svar]
+        # UF tables from Ackermann variables
+        from .evalmodel import evaluate  # local import to avoid a cycle
+
+        for app, var in sorted(app_to_var.items(), key=lambda kv: kv[0].tid):
+            assert app.fn is not None
+            arg_values = tuple(int(evaluate(a, model)) for a in app.args)
+            value = model.ints.get(var.name or "", 0)
+            table = model.functions.setdefault(app.fn, {})
+            existing = table.get(arg_values)
+            if existing is not None and existing != value:
+                raise SolverError(
+                    f"inconsistent UF table for {app.fn.name}{arg_values}: "
+                    f"{existing} vs {value} (Ackermann constraints violated)"
+                )
+            table[arg_values] = value
+        # hide internal helper variables from the user-facing model
+        for name in list(model.ints):
+            if name.startswith(("_app_", "_ite", "_t")):
+                del model.ints[name]
+
+        if self._verify_models:
+            self._verify(model, app_to_var)
+        return model
+
+    def _verify(self, model: Model, app_to_var: Dict[Term, Term]) -> None:
+        from .evalmodel import evaluate
+
+        for f in self._assertions:
+            value = evaluate(f, model)
+            if value is not True:
+                raise SolverError(
+                    f"model verification failed: {f} evaluates to {value} "
+                    f"under {model}"
+                )

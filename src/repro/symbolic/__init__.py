@@ -1,0 +1,17 @@
+"""Concolic (concrete + symbolic) execution of MiniC programs."""
+
+from .concolic import (
+    ConcolicEngine,
+    ConcolicResult,
+    ConcretizationMode,
+    PathCondition,
+    SymValue,
+)
+
+__all__ = [
+    "ConcolicEngine",
+    "ConcolicResult",
+    "ConcretizationMode",
+    "PathCondition",
+    "SymValue",
+]

@@ -1,0 +1,786 @@
+"""Side-by-side concrete + symbolic (concolic) execution of MiniC.
+
+This is the paper's ``executeSymbolic`` (Figures 1–3): the program runs on
+concrete inputs while a symbolic store tracks how values depend on the
+inputs, and a *path constraint* collects input conditions at every
+conditional.  The four :class:`ConcretizationMode` values implement the
+paper's treatments of imprecision:
+
+``UNSOUND``
+    DART's default (Figure 1 without line 14): an expression outside the
+    solver's theory is silently replaced by its runtime value.  Path
+    constraints may be unsound → divergences (Section 3.2).
+
+``SOUND``
+    Figure 1 *with* line 14: every concretization eagerly injects pinning
+    constraints ``x_i = I_i`` for all input variables feeding the
+    concretized expression (Theorem 2).
+
+``SOUND_DELAYED``
+    The variant sketched at the end of Section 3.3: pins are attached to
+    the concretized value and only injected into the path constraint when
+    (and if) the value actually reaches a recorded condition.
+
+``HIGHER_ORDER``
+    Figure 3: native calls and unknown instructions become uninterpreted
+    function applications, and every concrete call is recorded as an
+    input-output *sample* in the IOF table.
+
+Sources of imprecision handled:
+
+- native (opaque) function calls — the paper's "unknown functions";
+- non-linear arithmetic (``x*y``, ``x/y``, ``x%y`` with symbolic operands)
+  — the paper's "unknown instructions", modelled in HIGHER_ORDER mode by
+  the pure binary UFs ``__mul__``, ``__div__``, ``__mod__``;
+- array accesses at symbolic indices — store-dependent, hence *not*
+  representable as a pure UF; these use (delayed) sound concretization in
+  every mode, as the paper's Section 6 prescribes for stateful operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InterpError, StepBudgetExceeded, SymbolicExecutionError
+from ..lang.ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Block,
+    Call,
+    ErrorStmt,
+    Expr,
+    ExprStmt,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..lang.interp import DivisionByZero, c_div, c_mod, truthy
+from ..lang.natives import NativeRegistry
+from ..solver.terms import FunctionSymbol, Kind, Sort, Term, TermManager
+from ..solver.validity import Sample
+
+__all__ = [
+    "ConcretizationMode",
+    "PathCondition",
+    "ConcolicResult",
+    "ConcolicEngine",
+    "SymValue",
+]
+
+
+class ConcretizationMode(Enum):
+    """How symbolic execution deals with expressions outside its theory."""
+
+    UNSOUND = "unsound"
+    SOUND = "sound"
+    SOUND_DELAYED = "sound_delayed"
+    HIGHER_ORDER = "higher_order"
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """A value in the side-by-side machine: concrete int + optional term.
+
+    ``term`` is the symbolic expression over input variables (INT sort);
+    ``bool_term`` caches a BOOL-sorted form for values produced by
+    comparisons/logical operators; ``pins`` carries deferred concretization
+    pins (input variable names) in ``SOUND_DELAYED`` mode.
+    """
+
+    concrete: int
+    term: Optional[Term] = None
+    bool_term: Optional[Term] = None
+    pins: FrozenSet[str] = frozenset()
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.term is not None or self.bool_term is not None
+
+    def as_int_term(self, tm: TermManager) -> Optional[Term]:
+        """INT-sorted term, encoding a boolean as ``ite(b, 1, 0)``."""
+        if self.term is not None:
+            return self.term
+        if self.bool_term is not None:
+            return tm.mk_ite(self.bool_term, tm.mk_int(1), tm.mk_int(0))
+        return None
+
+    def as_bool_term(self, tm: TermManager) -> Optional[Term]:
+        """BOOL-sorted term, encoding an int as ``t != 0``."""
+        if self.bool_term is not None:
+            return self.bool_term
+        if self.term is not None:
+            return tm.mk_ne(self.term, tm.mk_int(0))
+        return None
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """One conjunct of the path constraint.
+
+    ``is_concretization`` marks pinning constraints ``x_i = I_i``, which the
+    directed search must never negate (Section 3.3: "concretization
+    constraints should not be negated ... their only purpose is to
+    guarantee soundness").
+    """
+
+    term: Term
+    branch_id: int = -1
+    taken: bool = True
+    is_concretization: bool = False
+    line: int = 0
+    #: index into the run's branch trace (``ConcolicResult.path``) of the
+    #: branch occurrence this condition came from; -1 for pins
+    path_pos: int = -1
+
+    def __str__(self) -> str:
+        marker = " [pin]" if self.is_concretization else ""
+        return f"{self.term}{marker}"
+
+
+@dataclass
+class ConcolicResult:
+    """Everything one concolic run produces."""
+
+    inputs: Dict[str, int]
+    returned: Optional[int] = None
+    #: symbolic expression of the return value over the input variables
+    #: (None when the return value is a plain concrete constant)
+    returned_term: Optional[Term] = None
+    error: bool = False
+    error_message: str = ""
+    error_line: int = 0
+    #: branch trace (branch_id, taken), the control path w
+    path: List[Tuple[int, bool]] = field(default_factory=list)
+    covered: Set[Tuple[int, bool]] = field(default_factory=set)
+    #: the path constraint, in execution order
+    path_conditions: List[PathCondition] = field(default_factory=list)
+    #: IOF samples observed during this run (HIGHER_ORDER records all calls)
+    samples: List[Sample] = field(default_factory=list)
+    #: symbolic input variables, name -> Term
+    input_vars: Dict[str, Term] = field(default_factory=dict)
+    steps: int = 0
+    #: count of concretization events (imprecision encountered)
+    concretizations: int = 0
+    #: count of UF applications created (HIGHER_ORDER)
+    uf_applications: int = 0
+
+    @property
+    def path_key(self) -> Tuple[Tuple[int, bool], ...]:
+        return tuple(self.path)
+
+    def constraint_terms(self) -> List[Term]:
+        return [pc.term for pc in self.path_conditions]
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: SymValue) -> None:
+        self.value = value
+
+
+class _ErrorSignal(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        self.message = message
+        self.line = line
+
+
+class ConcolicEngine:
+    """The concolic executor.
+
+    Parameters
+    ----------
+    program, natives:
+        The MiniC program and its native (opaque) function registry.
+    mode:
+        The concretization mode (see module docstring).
+    manager:
+        Optional shared :class:`TermManager`; pass the same manager across
+        runs of one testing session so input variables and UF symbols stay
+        identified (required by the directed search and the HOTG driver).
+    record_samples:
+        Record IOF samples for *all* native calls even outside
+        HIGHER_ORDER mode (useful for the cross-run learning experiments).
+    """
+
+    #: names of the unknown-instruction UFs (paper §4.1)
+    MUL_UF = "__mul__"
+    DIV_UF = "__div__"
+    MOD_UF = "__mod__"
+
+    #: synthetic branch ids for injected safety checks (paper §3.2:
+    #: "additional constraints are automatically injected in path
+    #: constraints for checking additional program properties")
+    CHECK_DIV = -10
+    CHECK_BOUNDS_LOW = -11
+    CHECK_BOUNDS_HIGH = -12
+
+    def __init__(
+        self,
+        program: Program,
+        natives: Optional[NativeRegistry] = None,
+        mode: ConcretizationMode = ConcretizationMode.HIGHER_ORDER,
+        manager: Optional[TermManager] = None,
+        step_budget: int = 1_000_000,
+        record_samples: bool = True,
+        inject_checks: bool = True,
+    ) -> None:
+        self.program = program
+        self.natives = natives if natives is not None else NativeRegistry()
+        self.mode = mode
+        self.tm = manager if manager is not None else TermManager()
+        self.step_budget = step_budget
+        self.record_samples = record_samples
+        #: inject divisor != 0 and index-in-bounds conditions so the
+        #: directed search can target division-by-zero and out-of-bounds
+        #: bugs; generated violations are confirmed by execution
+        self.inject_checks = inject_checks
+        self._fn_symbols: Dict[str, FunctionSymbol] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, entry: str, inputs: Dict[str, int]) -> ConcolicResult:
+        """Execute ``entry`` concolically on the given concrete inputs."""
+        fn = self.program.function(entry)
+        missing = [p for p in fn.params if p not in inputs]
+        if missing:
+            raise InterpError(f"missing inputs for parameters {missing}")
+        result = ConcolicResult(inputs=dict(inputs))
+        env: Dict[str, object] = {}
+        for p in fn.params:
+            var = self.tm.mk_var(p)
+            result.input_vars[p] = var
+            env[p] = SymValue(concrete=int(inputs[p]), term=var)
+        self._input_names = set(fn.params)
+        try:
+            self._exec_block(fn.body, env, result)
+            result.returned = 0
+        except _ReturnSignal as ret:
+            result.returned = ret.value.concrete
+            result.returned_term = ret.value.as_int_term(self.tm)
+        except _ErrorSignal as err:
+            result.error = True
+            result.error_message = err.message
+            result.error_line = err.line
+        return result
+
+    def function_symbol(self, name: str, arity: int) -> FunctionSymbol:
+        """The UF symbol representing a native function (stable per engine)."""
+        sym = self._fn_symbols.get(name)
+        if sym is None:
+            sym = self.tm.mk_function(name, arity)
+            self._fn_symbols[name] = sym
+        return sym
+
+    # -- concretization machinery ------------------------------------------------
+
+    def _pin_vars(
+        self,
+        names: Sequence[str],
+        result: ConcolicResult,
+        already: Optional[Set[str]] = None,
+    ) -> None:
+        """Inject concretization constraints ``x_i = I_i`` (Fig. 1 line 14)."""
+        pinned = {
+            pc.term for pc in result.path_conditions if pc.is_concretization
+        }
+        for name in sorted(set(names)):
+            var = result.input_vars.get(name)
+            if var is None:
+                continue
+            pin = self.tm.mk_eq(var, self.tm.mk_int(result.inputs[name]))
+            if pin in pinned:
+                continue
+            result.path_conditions.append(
+                PathCondition(term=pin, is_concretization=True)
+            )
+
+    def _input_deps(self, value: SymValue, result: ConcolicResult) -> Set[str]:
+        """Input variable names the value's symbolic term depends on."""
+        term = value.term if value.term is not None else value.bool_term
+        if term is None:
+            return set()
+        names = set()
+        for v in term.free_vars():
+            if v.name in result.input_vars:
+                names.add(v.name)
+        return names
+
+    def _concretize(
+        self, values: Sequence[SymValue], result: ConcolicResult
+    ) -> FrozenSet[str]:
+        """Drop symbolic info per the current mode; return deferred pins."""
+        result.concretizations += 1
+        deps: Set[str] = set()
+        for v in values:
+            deps |= self._input_deps(v, result)
+            deps |= set(v.pins)
+        if not deps:
+            return frozenset()
+        if self.mode is ConcretizationMode.SOUND:
+            self._pin_vars(sorted(deps), result)
+            return frozenset()
+        if self.mode is ConcretizationMode.SOUND_DELAYED:
+            return frozenset(deps)
+        return frozenset()  # UNSOUND (and HO fallbacks handled by callers)
+
+    def _flush_pins(self, value: SymValue, result: ConcolicResult) -> None:
+        """SOUND_DELAYED: materialize deferred pins when a value is tested."""
+        if value.pins:
+            self._pin_vars(sorted(value.pins), result)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _tick(self, result: ConcolicResult) -> None:
+        result.steps += 1
+        if result.steps > self.step_budget:
+            raise StepBudgetExceeded(
+                f"concolic execution exceeded {self.step_budget} steps"
+            )
+
+    def _exec_block(
+        self, block: Block, env: Dict[str, object], result: ConcolicResult
+    ) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env, result)
+
+    def _exec_stmt(
+        self, stmt: Stmt, env: Dict[str, object], result: ConcolicResult
+    ) -> None:
+        self._tick(result)
+        if isinstance(stmt, VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.init, env, result)
+                if stmt.init is not None
+                else SymValue(0)
+            )
+        elif isinstance(stmt, ArrayDecl):
+            env[stmt.name] = [SymValue(0) for _ in range(stmt.size)]
+        elif isinstance(stmt, Assign):
+            if stmt.name not in env:
+                raise InterpError(
+                    f"assignment to undeclared variable {stmt.name!r} "
+                    f"(line {stmt.line})"
+                )
+            env[stmt.name] = self._eval(stmt.expr, env, result)
+        elif isinstance(stmt, ArrayAssign):
+            arr = self._array(stmt.name, env, stmt.line)
+            idx = self._eval(stmt.index, env, result)
+            value = self._eval(stmt.expr, env, result)
+            concrete_idx = self._resolve_index(idx, arr, stmt.name, stmt.line, result)
+            arr[concrete_idx] = value
+        elif isinstance(stmt, If):
+            cond = self._eval(stmt.cond, env, result)
+            taken = truthy(cond.concrete)
+            result.path.append((stmt.branch_id, taken))
+            result.covered.add((stmt.branch_id, taken))
+            self._record_condition(cond, taken, stmt.branch_id, stmt.line, result)
+            if taken:
+                self._exec_block(stmt.then_body, env, result)
+            elif stmt.else_body is not None:
+                self._exec_block(stmt.else_body, env, result)
+        elif isinstance(stmt, While):
+            while True:
+                cond = self._eval(stmt.cond, env, result)
+                taken = truthy(cond.concrete)
+                result.path.append((stmt.branch_id, taken))
+                result.covered.add((stmt.branch_id, taken))
+                self._record_condition(
+                    cond, taken, stmt.branch_id, stmt.line, result
+                )
+                if not taken:
+                    break
+                self._exec_block(stmt.body, env, result)
+                self._tick(result)
+        elif isinstance(stmt, Return):
+            value = (
+                self._eval(stmt.expr, env, result)
+                if stmt.expr is not None
+                else SymValue(0)
+            )
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ErrorStmt):
+            raise _ErrorSignal(stmt.message, stmt.line)
+        elif isinstance(stmt, AssertStmt):
+            cond = self._eval(stmt.cond, env, result)
+            ok = truthy(cond.concrete)
+            # asserts are branch sites too: the search can target them
+            result.path.append((stmt.branch_id, ok))
+            result.covered.add((stmt.branch_id, ok))
+            self._record_condition(cond, ok, stmt.branch_id, stmt.line, result)
+            if not ok:
+                raise _ErrorSignal("assertion failed", stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, env, result)
+        elif isinstance(stmt, Block):
+            self._exec_block(stmt, env, result)
+        else:  # pragma: no cover
+            raise SymbolicExecutionError(f"unknown statement {stmt!r}")
+
+    def _record_condition(
+        self,
+        cond: SymValue,
+        taken: bool,
+        branch_id: int,
+        line: int,
+        result: ConcolicResult,
+    ) -> None:
+        if self.mode is ConcretizationMode.SOUND_DELAYED:
+            # a concretized value reaching a condition influences control
+            # flow even when the condition's truth is concrete: its pins
+            # must materialize here to keep the path constraint sound
+            self._flush_pins(cond, result)
+        bool_term = cond.as_bool_term(self.tm)
+        if bool_term is None:
+            return  # condition does not depend on inputs
+        term = bool_term if taken else self.tm.mk_not(bool_term)
+        if term is self.tm.true_:
+            return
+        result.path_conditions.append(
+            PathCondition(
+                term=term,
+                branch_id=branch_id,
+                taken=taken,
+                line=line,
+                path_pos=len(result.path) - 1,
+            )
+        )
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _array(self, name: str, env: Dict[str, object], line: int) -> list:
+        arr = env.get(name)
+        if not isinstance(arr, list):
+            raise InterpError(f"{name!r} is not an array (line {line})")
+        return arr
+
+    def _resolve_index(
+        self,
+        idx: SymValue,
+        arr: list,
+        name: str,
+        line: int,
+        result: ConcolicResult,
+    ) -> int:
+        """Concretize a (possibly symbolic) array index, soundly per mode.
+
+        Symbolic indices are store-dependent lookups that cannot be
+        represented by a pure uninterpreted function, so even HIGHER_ORDER
+        mode falls back to sound concretization here (paper §6).
+        """
+        concrete = idx.concrete
+        self._inject_bounds_check(idx, len(arr), line, result)
+        if not 0 <= concrete < len(arr):
+            raise _ErrorSignal(
+                f"array index {concrete} out of bounds for {name}[{len(arr)}]",
+                line,
+            )
+        if idx.is_symbolic or idx.pins:
+            if self.mode in (
+                ConcretizationMode.SOUND,
+                ConcretizationMode.HIGHER_ORDER,
+            ):
+                deps = self._input_deps(idx, result) | set(idx.pins)
+                result.concretizations += 1
+                self._pin_vars(sorted(deps), result)
+            else:
+                self._concretize([idx], result)
+        return concrete
+
+    def _eval(
+        self, expr: Expr, env: Dict[str, object], result: ConcolicResult
+    ) -> SymValue:
+        self._tick(result)
+        if isinstance(expr, IntLit):
+            return SymValue(expr.value)
+        if isinstance(expr, VarRef):
+            if expr.name not in env:
+                raise InterpError(
+                    f"undeclared variable {expr.name!r} (line {expr.line})"
+                )
+            value = env[expr.name]
+            if isinstance(value, list):
+                raise InterpError(
+                    f"array {expr.name!r} used as a scalar (line {expr.line})"
+                )
+            return value  # type: ignore[return-value]
+        if isinstance(expr, ArrayRef):
+            arr = self._array(expr.name, env, expr.line)
+            idx = self._eval(expr.index, env, result)
+            symbolic_idx = idx.is_symbolic
+            concrete_idx = self._resolve_index(idx, arr, expr.name, expr.line, result)
+            cell = arr[concrete_idx]
+            if symbolic_idx and self.mode is ConcretizationMode.SOUND_DELAYED:
+                # the read value inherits the deferred pins of the index
+                return SymValue(
+                    cell.concrete,
+                    cell.term,
+                    cell.bool_term,
+                    cell.pins | idx.pins | frozenset(self._input_deps(idx, result)),
+                )
+            return cell
+        if isinstance(expr, Unary):
+            operand = self._eval(expr.operand, env, result)
+            if expr.op == "-":
+                term = operand.as_int_term(self.tm)
+                return SymValue(
+                    -operand.concrete,
+                    self.tm.mk_neg(term) if term is not None else None,
+                    pins=operand.pins,
+                )
+            if expr.op == "!":
+                concrete = 0 if truthy(operand.concrete) else 1
+                bool_term = operand.as_bool_term(self.tm)
+                return SymValue(
+                    concrete,
+                    bool_term=(
+                        self.tm.mk_not(bool_term) if bool_term is not None else None
+                    ),
+                    pins=operand.pins,
+                )
+            raise InterpError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, env, result)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env, result)
+        raise SymbolicExecutionError(f"unknown expression {expr!r}")
+
+    # -- binary operators -------------------------------------------------------------
+
+    def _eval_binary(
+        self, expr: Binary, env: Dict[str, object], result: ConcolicResult
+    ) -> SymValue:
+        op = expr.op
+        tm = self.tm
+        # strict logical operators (see the interpreter's note: the paper's
+        # Example 3 derives both conjuncts of `if (A AND B)` into the pc)
+        if op in ("&&", "||"):
+            left = self._eval(expr.left, env, result)
+            right = self._eval(expr.right, env, result)
+            lt, rt = truthy(left.concrete), truthy(right.concrete)
+            concrete = (
+                1 if (lt and rt if op == "&&" else lt or rt) else 0
+            )
+            lb, rb = left.as_bool_term(tm), right.as_bool_term(tm)
+            bool_term = None
+            if lb is not None or rb is not None:
+                lb = lb if lb is not None else tm.mk_bool(lt)
+                rb = rb if rb is not None else tm.mk_bool(rt)
+                bool_term = tm.mk_and(lb, rb) if op == "&&" else tm.mk_or(lb, rb)
+            return SymValue(
+                concrete, bool_term=bool_term, pins=left.pins | right.pins
+            )
+
+        left = self._eval(expr.left, env, result)
+        right = self._eval(expr.right, env, result)
+        lc, rc = left.concrete, right.concrete
+        pins = left.pins | right.pins
+        lt = left.as_int_term(tm)
+        rt = right.as_int_term(tm)
+        symbolic = lt is not None or rt is not None
+        lt_full = lt if lt is not None else tm.mk_int(lc)
+        rt_full = rt if rt is not None else tm.mk_int(rc)
+
+        if op == "+":
+            return SymValue(
+                lc + rc, tm.mk_add(lt_full, rt_full) if symbolic else None, pins=pins
+            )
+        if op == "-":
+            return SymValue(
+                lc - rc, tm.mk_sub(lt_full, rt_full) if symbolic else None, pins=pins
+            )
+        if op == "*":
+            concrete = lc * rc
+            if not symbolic:
+                return SymValue(concrete, pins=pins)
+            if lt is None or rt is None:
+                # linear: one side is a constant
+                return SymValue(concrete, tm.mk_mul(lt_full, rt_full), pins=pins)
+            return self._unknown_instruction(
+                self.MUL_UF, (left, right), concrete, result, pins
+            )
+        if op in ("/", "%"):
+            self._inject_div_check(right, expr.line, result)
+            try:
+                concrete = c_div(lc, rc) if op == "/" else c_mod(lc, rc)
+            except DivisionByZero:
+                raise _ErrorSignal("division by zero", expr.line)
+            if not symbolic:
+                return SymValue(concrete, pins=pins)
+            uf_name = self.DIV_UF if op == "/" else self.MOD_UF
+            return self._unknown_instruction(
+                uf_name, (left, right), concrete, result, pins
+            )
+
+        # comparisons
+        comparisons = {
+            "==": (lambda a, b: a == b, tm.mk_eq),
+            "!=": (lambda a, b: a != b, tm.mk_ne),
+            "<": (lambda a, b: a < b, tm.mk_lt),
+            "<=": (lambda a, b: a <= b, tm.mk_le),
+            ">": (lambda a, b: a > b, tm.mk_gt),
+            ">=": (lambda a, b: a >= b, tm.mk_ge),
+        }
+        if op not in comparisons:
+            raise InterpError(f"unknown binary operator {op!r}")
+        concrete_fn, term_fn = comparisons[op]
+        concrete = 1 if concrete_fn(lc, rc) else 0
+        bool_term = term_fn(lt_full, rt_full) if symbolic else None
+        return SymValue(concrete, bool_term=bool_term, pins=pins)
+
+    def _inject_div_check(
+        self, divisor: SymValue, line: int, result: ConcolicResult
+    ) -> None:
+        """Record the injected safety condition ``divisor != 0`` (§3.2).
+
+        Only input-dependent divisors get a condition (a concrete divisor
+        cannot be steered to zero by new inputs).  The condition's truth
+        at record time is "nonzero" — we are about to divide successfully
+        or raise; the directed search may later negate it, and the
+        resulting test confirms the division-by-zero by executing.
+        """
+        if not self.inject_checks:
+            return
+        term = divisor.as_int_term(self.tm)
+        if term is None:
+            return
+        if divisor.concrete == 0:
+            return  # about to error; no condition to record
+        if self.mode is ConcretizationMode.SOUND_DELAYED:
+            self._flush_pins(divisor, result)
+        result.path_conditions.append(
+            PathCondition(
+                term=self.tm.mk_ne(term, self.tm.mk_int(0)),
+                branch_id=self.CHECK_DIV,
+                taken=True,
+                line=line,
+            )
+        )
+
+    def _inject_bounds_check(
+        self,
+        idx: SymValue,
+        size: int,
+        line: int,
+        result: ConcolicResult,
+    ) -> None:
+        """Record injected conditions ``0 <= idx`` and ``idx < size``."""
+        if not self.inject_checks:
+            return
+        term = idx.as_int_term(self.tm)
+        if term is None:
+            return
+        if not 0 <= idx.concrete < size:
+            return  # about to error; nothing to record
+        if self.mode is ConcretizationMode.SOUND_DELAYED:
+            self._flush_pins(idx, result)
+        result.path_conditions.append(
+            PathCondition(
+                term=self.tm.mk_ge(term, self.tm.mk_int(0)),
+                branch_id=self.CHECK_BOUNDS_LOW,
+                taken=True,
+                line=line,
+            )
+        )
+        result.path_conditions.append(
+            PathCondition(
+                term=self.tm.mk_lt(term, self.tm.mk_int(size)),
+                branch_id=self.CHECK_BOUNDS_HIGH,
+                taken=True,
+                line=line,
+            )
+        )
+
+    def _unknown_instruction(
+        self,
+        uf_name: str,
+        operands: Tuple[SymValue, SymValue],
+        concrete: int,
+        result: ConcolicResult,
+        pins: FrozenSet[str],
+    ) -> SymValue:
+        """Handle ``x*y``, ``x/y``, ``x%y`` with symbolic operands."""
+        tm = self.tm
+        if self.mode is ConcretizationMode.HIGHER_ORDER:
+            sym = self.function_symbol(uf_name, 2)
+            args = [
+                op.as_int_term(tm)
+                if op.as_int_term(tm) is not None
+                else tm.mk_int(op.concrete)
+                for op in operands
+            ]
+            term = tm.mk_app(sym, args)
+            result.uf_applications += 1
+            if self.record_samples:
+                result.samples.append(
+                    Sample(
+                        sym,
+                        (operands[0].concrete, operands[1].concrete),
+                        concrete,
+                    )
+                )
+            return SymValue(concrete, term, pins=pins)
+        deferred = self._concretize(list(operands), result)
+        return SymValue(concrete, pins=deferred)
+
+    # -- calls -----------------------------------------------------------------------
+
+    def _eval_call(
+        self, expr: Call, env: Dict[str, object], result: ConcolicResult
+    ) -> SymValue:
+        args = [self._eval(a, env, result) for a in expr.args]
+        if expr.name in self.program.functions:
+            fn = self.program.function(expr.name)
+            if len(args) != len(fn.params):
+                raise InterpError(
+                    f"{expr.name} expects {len(fn.params)} args, got "
+                    f"{len(args)} (line {expr.line})"
+                )
+            call_env: Dict[str, object] = dict(zip(fn.params, args))
+            try:
+                self._exec_block(fn.body, call_env, result)
+                return SymValue(0)
+            except _ReturnSignal as ret:
+                return ret.value
+        return self._eval_native(expr, args, result)
+
+    def _eval_native(
+        self, expr: Call, args: List[SymValue], result: ConcolicResult
+    ) -> SymValue:
+        tm = self.tm
+        concrete_args = tuple(a.concrete for a in args)
+        concrete = self.natives.call(expr.name, concrete_args)
+        symbolic = any(a.is_symbolic for a in args)
+        pins = frozenset().union(*(a.pins for a in args)) if args else frozenset()
+
+        if self.record_samples and args:
+            sym = self.function_symbol(expr.name, len(args))
+            result.samples.append(Sample(sym, concrete_args, concrete))
+
+        if not symbolic:
+            # no input dependence: the call's result is a plain constant
+            return SymValue(concrete, pins=pins)
+
+        if self.mode is ConcretizationMode.HIGHER_ORDER:
+            sym = self.function_symbol(expr.name, len(args))
+            terms = [
+                a.as_int_term(tm)
+                if a.as_int_term(tm) is not None
+                else tm.mk_int(a.concrete)
+                for a in args
+            ]
+            result.uf_applications += 1
+            return SymValue(concrete, tm.mk_app(sym, terms), pins=pins)
+
+        deferred = self._concretize(args, result)
+        return SymValue(concrete, pins=deferred)

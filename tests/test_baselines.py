@@ -1,0 +1,104 @@
+"""Tests for the random-fuzzing and static test generation baselines."""
+
+import pytest
+
+from repro.apps.paper_programs import PAPER_EXAMPLES, make_paper_natives
+from repro.baselines import RandomFuzzer, StaticTestGenerator
+from repro.lang import NativeRegistry, parse_program
+from repro.search import SearchConfig
+
+EASY = """
+int easy(int x) {
+    if (x > 0) {
+        if (x < 10) { error("window"); }
+    }
+    return 0;
+}
+"""
+
+
+class TestRandomFuzzer:
+    def test_finds_wide_bug(self):
+        fuzzer = RandomFuzzer(
+            parse_program(EASY), "easy", NativeRegistry(),
+            default_range=(-20, 20), seed=1,
+        )
+        res = fuzzer.run(max_runs=200)
+        assert res.found_error
+
+    def test_deterministic_with_seed(self):
+        mk = lambda: RandomFuzzer(
+            parse_program(EASY), "easy", NativeRegistry(),
+            default_range=(-20, 20), seed=5,
+        )
+        r1, r2 = mk().run(100), mk().run(100)
+        assert len(r1.errors) == len(r2.errors)
+        assert r1.distinct_paths == r2.distinct_paths
+
+    def test_different_seeds_differ(self):
+        runs = []
+        for seed in (1, 2):
+            fuzzer = RandomFuzzer(
+                parse_program(EASY), "easy", NativeRegistry(),
+                default_range=(-1000, 1000), seed=seed,
+            )
+            res = fuzzer.run(50)
+            runs.append([e.inputs for e in res.errors])
+        # not a strict requirement, but overwhelmingly likely
+        assert runs[0] != runs[1] or not runs[0]
+
+    def test_stop_on_first_error(self):
+        fuzzer = RandomFuzzer(
+            parse_program(EASY), "easy", NativeRegistry(),
+            default_range=(1, 9), seed=1,
+        )
+        res = fuzzer.run(max_runs=100, stop_on_first_error=True)
+        assert len(res.errors) == 1
+        assert res.runs < 100
+
+    def test_per_variable_ranges(self):
+        src = "int f(int a, int b) { if (a == b) { error(\"eq\"); } return 0; }"
+        fuzzer = RandomFuzzer(
+            parse_program(src), "f", NativeRegistry(),
+            ranges={"a": (5, 5), "b": (5, 5)}, seed=0,
+        )
+        res = fuzzer.run(3)
+        assert len(res.errors) == 3
+
+    def test_coverage_tracked(self):
+        fuzzer = RandomFuzzer(
+            parse_program(EASY), "easy", NativeRegistry(),
+            default_range=(-20, 20), seed=1,
+        )
+        res = fuzzer.run(200)
+        assert res.coverage.ratio() > 0
+        assert res.summary().startswith("runs=200")
+
+
+class TestStaticTestGenerator:
+    def test_covers_arithmetic_only_programs(self):
+        # with no unknown functions, static generation works fine
+        gen = StaticTestGenerator(
+            parse_program(EASY), "easy", NativeRegistry(),
+            SearchConfig(max_runs=20),
+        )
+        res = gen.run({"x": -5})
+        assert res.found_error
+
+    def test_helpless_on_obscure(self):
+        ex = PAPER_EXAMPLES["obscure"]
+        gen = StaticTestGenerator(
+            ex.program(), ex.entry, make_paper_natives(),
+            SearchConfig(max_runs=30),
+        )
+        res = gen.run(dict(ex.initial_inputs))
+        assert not res.found_error
+
+    def test_invented_function_values_cause_divergence(self):
+        ex = PAPER_EXAMPLES["obscure"]
+        gen = StaticTestGenerator(
+            ex.program(), ex.entry, make_paper_natives(),
+            SearchConfig(max_runs=30),
+        )
+        res = gen.run(dict(ex.initial_inputs))
+        assert res.divergences >= 1

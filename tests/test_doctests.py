@@ -1,0 +1,14 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.solver.terms
+
+
+@pytest.mark.parametrize("module", [repro.solver.terms])
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -1,0 +1,214 @@
+"""Unit tests for the congruence-closure EUF engine."""
+
+import pytest
+
+from repro.solver import CongruenceClosure, TermManager, check_euf_conjunction
+
+
+@pytest.fixture()
+def tm():
+    return TermManager()
+
+
+class TestBasicEquality:
+    def test_reflexive(self, tm):
+        x = tm.mk_var("x")
+        cc = CongruenceClosure()
+        assert cc.are_equal(x, x)
+
+    def test_asserted_equality(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert cc.are_equal(x, y)
+
+    def test_transitivity(self, tm):
+        x, y, z = tm.mk_var("x"), tm.mk_var("y"), tm.mk_var("z")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        cc.assert_equal(y, z)
+        assert cc.are_equal(x, z)
+
+    def test_unrelated_stay_distinct(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        assert not cc.are_equal(x, y)
+
+    def test_long_chain(self, tm):
+        vs = [tm.mk_var(f"v{i}") for i in range(50)]
+        cc = CongruenceClosure()
+        for a, b in zip(vs, vs[1:]):
+            cc.assert_equal(a, b)
+        assert cc.are_equal(vs[0], vs[-1])
+
+
+class TestCongruence:
+    def test_unary_congruence(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert cc.are_equal(tm.mk_app(h, [x]), tm.mk_app(h, [y]))
+
+    def test_congruence_after_registration(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        hx, hy = tm.mk_app(h, [x]), tm.mk_app(h, [y])
+        cc = CongruenceClosure()
+        cc.register(hx)
+        cc.register(hy)
+        cc.assert_equal(x, y)
+        assert cc.are_equal(hx, hy)
+
+    def test_binary_congruence_requires_both_args(self, tm):
+        g = tm.mk_function("g", 2)
+        x, y, z = tm.mk_var("x"), tm.mk_var("y"), tm.mk_var("z")
+        cc = CongruenceClosure()
+        g1 = tm.mk_app(g, [x, z])
+        g2 = tm.mk_app(g, [y, z])
+        cc.register(g1)
+        cc.register(g2)
+        assert not cc.are_equal(g1, g2)
+        cc.assert_equal(x, y)
+        assert cc.are_equal(g1, g2)
+
+    def test_nested_congruence(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        hhx = tm.mk_app(h, [tm.mk_app(h, [x])])
+        hhy = tm.mk_app(h, [tm.mk_app(h, [y])])
+        cc = CongruenceClosure()
+        cc.register(hhx)
+        cc.register(hhy)
+        cc.assert_equal(x, y)
+        assert cc.are_equal(hhx, hhy)
+
+    def test_curried_chain(self, tm):
+        # classic: f(f(f(x))) = x and f(f(f(f(f(x))))) = x imply f(x) = x
+        f = tm.mk_function("f", 1)
+        x = tm.mk_var("x")
+
+        def fn(t, n):
+            for _ in range(n):
+                t = tm.mk_app(f, [t])
+            return t
+
+        cc = CongruenceClosure()
+        cc.assert_equal(fn(x, 3), x)
+        cc.assert_equal(fn(x, 5), x)
+        assert cc.are_equal(fn(x, 1), x)
+
+
+class TestDisequality:
+    def test_diseq_consistent(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        assert cc.assert_diseq(x, y)
+        assert cc.check().sat
+
+    def test_direct_conflict(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert not cc.assert_diseq(x, y)
+        assert not cc.check().sat
+
+    def test_conflict_via_congruence(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_diseq(tm.mk_app(h, [x]), tm.mk_app(h, [y]))
+        assert not cc.assert_equal(x, y)
+
+    def test_conflict_order_independent(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        assert not cc.assert_diseq(tm.mk_app(h, [x]), tm.mk_app(h, [y]))
+
+
+class TestExplanations:
+    def test_explain_direct(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y, tag=(x, y, True))
+        expl = cc.explain(x, y)
+        assert (x, y, True) in expl
+
+    def test_explain_transitive_contains_both(self, tm):
+        x, y, z = tm.mk_var("x"), tm.mk_var("y"), tm.mk_var("z")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y, tag="e1")
+        cc.assert_equal(y, z, tag="e2")
+        expl = cc.explain(x, z)
+        assert set(expl) == {"e1", "e2"}
+
+    def test_explain_congruence_recurses_to_args(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        hx, hy = tm.mk_app(h, [x]), tm.mk_app(h, [y])
+        cc = CongruenceClosure()
+        cc.register(hx)
+        cc.register(hy)
+        cc.assert_equal(x, y, tag="xy")
+        expl = cc.explain(hx, hy)
+        assert expl == ["xy"]
+
+    def test_explain_is_subset_of_inputs(self, tm):
+        vs = [tm.mk_var(f"w{i}") for i in range(6)]
+        cc = CongruenceClosure()
+        for i, (a, b) in enumerate(zip(vs, vs[1:])):
+            cc.assert_equal(a, b, tag=f"t{i}")
+        # also an irrelevant equality
+        p, q = tm.mk_var("p"), tm.mk_var("q")
+        cc.assert_equal(p, q, tag="irrelevant")
+        expl = cc.explain(vs[0], vs[5])
+        assert "irrelevant" not in expl
+        assert set(expl) == {f"t{i}" for i in range(5)}
+
+    def test_conflict_explanation_in_result(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y, tag=(x, y, True))
+        cc.assert_diseq(x, y, tag=(x, y, False))
+        result = cc.check()
+        assert not result.sat
+        assert (x, y, True) in result.conflict
+        assert (x, y, False) in result.conflict
+
+
+class TestClasses:
+    def test_classes_partition(self, tm):
+        x, y, z = tm.mk_var("x"), tm.mk_var("y"), tm.mk_var("z")
+        cc = CongruenceClosure()
+        cc.assert_equal(x, y)
+        cc.register(z)
+        classes = cc.classes()
+        flat = [t for group in classes for t in group]
+        assert set(flat) >= {x, y, z}
+        for group in classes:
+            if x in group:
+                assert y in group
+                assert z not in group
+
+
+class TestOneShot:
+    def test_check_euf_conjunction_sat(self, tm):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        r = check_euf_conjunction([(x, y)], [])
+        assert r.sat
+
+    def test_check_euf_conjunction_unsat(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        r = check_euf_conjunction(
+            [(x, y)], [(tm.mk_app(h, [x]), tm.mk_app(h, [y]))]
+        )
+        assert not r.sat
+
+    def test_constants_distinct_by_default(self, tm):
+        # CC itself does not know 1 != 2 unless told; the SMT layer adds that
+        one, two = tm.mk_int(1), tm.mk_int(2)
+        cc = CongruenceClosure()
+        assert not cc.are_equal(one, two)

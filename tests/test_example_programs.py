@@ -1,0 +1,70 @@
+"""The shipped .minic example corpus works through the CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+PROGRAMS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "programs"
+)
+
+
+def program(name):
+    path = os.path.join(PROGRAMS_DIR, name)
+    assert os.path.exists(path), f"missing example program {name}"
+    return path
+
+
+class TestExampleCorpus:
+    def test_obscure_all_modes(self, capsys):
+        assert main(["modes", program("obscure.minic"), "--seed", "x=33,y=42"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("errors=1") >= 3  # all dynamic engines find it
+
+    def test_foo_two_step(self, capsys):
+        code = main(
+            [
+                "run", program("foo.minic"), "--seed", "x=33,y=42",
+                "--expect-error",
+            ]
+        )
+        assert code == 0
+        assert "foo deep bug" in capsys.readouterr().out
+
+    def test_div_guard_crash_found(self, capsys):
+        code = main(
+            [
+                "run", program("div_guard.minic"), "--seed", "a=12,b=4",
+                "--expect-error",
+            ]
+        )
+        assert code == 0
+        assert "division by zero" in capsys.readouterr().out
+
+    def test_chain3_k_step(self, capsys):
+        code = main(
+            [
+                "run", program("chain3.minic"), "--seed", "x=1,y=2,z=3",
+                "--max-runs", "60", "--expect-error",
+            ]
+        )
+        assert code == 0
+        assert "three levels deep" in capsys.readouterr().out
+
+    def test_keyword_gate(self, capsys):
+        code = main(
+            [
+                "run", program("keyword_gate.minic"),
+                "--max-runs", "80", "--expect-error",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gate opened" in out
+
+    def test_every_program_parses_and_fuzzes(self, capsys):
+        for name in sorted(os.listdir(PROGRAMS_DIR)):
+            if name.endswith(".minic"):
+                assert main(["fuzz", program(name), "--runs", "20"]) == 0

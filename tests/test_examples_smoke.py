@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example script runs to completion."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+SCRIPTS = [
+    "quickstart.py",
+    "multistep_demo.py",
+    "divergence_study.py",
+    "compositional_summaries.py",
+    "protocol_forging.py",
+    "lexer_keywords.py",
+    # tinyvm_cracking.py is exercised by its own bench (slower)
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_script_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_are_listed():
+    """Every example script in the directory is either smoke-tested here
+    or covered by a dedicated bench."""
+    present = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    covered = set(SCRIPTS) | {"tinyvm_cracking.py"}
+    assert present == covered, f"unlisted examples: {present - covered}"

@@ -1,0 +1,122 @@
+"""Tests for the hash zoo and word codecs."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hashes import (
+    codes_to_word,
+    crc32,
+    djb2,
+    flex_hash,
+    fnv1a,
+    sdbm,
+    standard_registry,
+    toy_block_cipher,
+    word_to_codes,
+)
+
+
+def codes(word):
+    return [ord(c) for c in word]
+
+
+class TestFlexHash:
+    def test_deterministic(self):
+        assert flex_hash(codes("while"), 1 << 14) == flex_hash(
+            codes("while"), 1 << 14
+        )
+
+    def test_range(self):
+        for word in ("if", "for", "return", "x"):
+            assert 0 <= flex_hash(codes(word), 100) < 100
+
+    def test_zero_terminates(self):
+        assert flex_hash([105, 102, 0, 99], 1 << 14) == flex_hash(
+            [105, 102], 1 << 14
+        )
+
+    def test_empty_word(self):
+        assert flex_hash([], 64) == 0
+
+
+class TestClassicHashes:
+    def test_djb2_known_value(self):
+        # djb2("a") = 5381*33 + 97 = 177670
+        assert djb2(codes("a")) == 177670
+
+    def test_fnv1a_known_value(self):
+        # standard FNV-1a test vector: fnv1a("a") = 0xe40c292c
+        assert fnv1a(codes("a")) == 0xE40C292C
+
+    def test_sdbm_nonzero(self):
+        assert sdbm(codes("test")) != 0
+
+    def test_crc32_matches_zlib(self):
+        for word in ("a", "abc", "hello world", "keyword"):
+            assert crc32(codes(word)) == zlib.crc32(word.encode())
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_crc32_property_matches_zlib(self, word):
+        assert crc32(codes(word)) == zlib.crc32(word.encode())
+
+    def test_all_hashes_distinguish_some_words(self):
+        words = ["if", "for", "int", "ret"]
+        for fn in (djb2, fnv1a, sdbm, crc32):
+            values = {fn(codes(w)) for w in words}
+            assert len(values) == len(words), fn.__name__
+
+
+class TestToyCipher:
+    def test_deterministic(self):
+        assert toy_block_cipher(12345, 999) == toy_block_cipher(12345, 999)
+
+    def test_key_sensitivity(self):
+        assert toy_block_cipher(12345, 1) != toy_block_cipher(12345, 2)
+
+    def test_block_sensitivity(self):
+        assert toy_block_cipher(1, 999) != toy_block_cipher(2, 999)
+
+    def test_range(self):
+        assert 0 <= toy_block_cipher(2**31, 2**31) < 2**32
+
+
+class TestWordCodecs:
+    def test_roundtrip(self):
+        for word in ("if", "ret", "abcd", ""):
+            assert codes_to_word(word_to_codes(word, 4)) == word
+
+    def test_padding(self):
+        assert word_to_codes("if", 4) == (105, 102, 0, 0)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            word_to_codes("toolong", 4)
+
+    def test_nonprintable_replaced(self):
+        assert codes_to_word((5, 200)) == "??"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, word):
+        assert codes_to_word(word_to_codes(word, 8)) == word
+
+
+class TestStandardRegistry:
+    def test_all_functions_present(self):
+        reg = standard_registry(width=4)
+        for name in ("flex_hash", "djb2", "fnv1a", "sdbm", "crc32", "cipher", "hash"):
+            assert name in reg
+
+    def test_word_hash_callable_through_registry(self):
+        reg = standard_registry(width=4)
+        w = word_to_codes("ret", 4)
+        assert reg.call("djb2", w) == djb2(w)
+
+    def test_arities(self):
+        reg = standard_registry(width=4)
+        assert reg.lookup("flex_hash").arity == 4
+        assert reg.lookup("cipher").arity == 2
+        assert reg.lookup("hash").arity == 1

@@ -1,0 +1,274 @@
+"""Unit and property tests for the concrete MiniC interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpError, StepBudgetExceeded
+from repro.lang import Interpreter, NativeRegistry, c_div, c_mod, parse_program
+
+
+def run(src, entry, inputs, natives=None, budget=1_000_000):
+    prog = parse_program(src)
+    return Interpreter(prog, natives, step_budget=budget).run(entry, inputs)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        r = run("int f(int x) { return x + 5; }", "f", {"x": 2})
+        assert r.returned == 7
+
+    def test_operator_precedence(self):
+        r = run("int f(int x) { return 2 + 3 * x; }", "f", {"x": 4})
+        assert r.returned == 14
+
+    def test_unary_minus(self):
+        r = run("int f(int x) { return -x; }", "f", {"x": 9})
+        assert r.returned == -9
+
+    def test_logical_not(self):
+        assert run("int f(int x) { return !x; }", "f", {"x": 5}).returned == 0
+        assert run("int f(int x) { return !x; }", "f", {"x": 0}).returned == 1
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+    )
+    def test_c_division_semantics(self, a, b, q, r):
+        assert c_div(a, b) == q
+        assert c_mod(a, b) == r
+        src = "int f(int a, int b) { return a / b * 1000 + (a % b + 100); }"
+        out = run(src, "f", {"a": a, "b": b}).returned
+        assert out == q * 1000 + r + 100
+
+    def test_division_by_zero_is_program_error(self):
+        # division by zero is a confirmable program error (like a failed
+        # assert), so searches can find and report it — paper §3.2's
+        # injected-check bug class
+        r = run("int f(int x) { return 1 / x; }", "f", {"x": 0})
+        assert r.error and "division by zero" in r.error_message
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_cdiv_cmod_invariant(self, a, b):
+        if b == 0:
+            return
+        assert a == b * c_div(a, b) + c_mod(a, b)
+        assert abs(c_mod(a, b)) < abs(b)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int x) { if (x > 0) { return 1; } else { return 2; } }"
+        assert run(src, "f", {"x": 5}).returned == 1
+        assert run(src, "f", {"x": -5}).returned == 2
+
+    def test_logical_and_is_strict(self):
+        # MiniC logical operators evaluate BOTH operands (paper Example 3
+        # derives both conjuncts of one `if (A AND B)` into the pc), so the
+        # division by zero in the right operand fires even when A is false
+        src = "int f(int x) { if (x != 0 && 10 / x > 1) { return 1; } return 0; }"
+        r = run(src, "f", {"x": 0})
+        assert r.error and "division by zero" in r.error_message
+
+    def test_logical_or_is_strict_but_correct(self):
+        src = "int f(int x) { if (x == 0 || x > 1) { return 1; } return 0; }"
+        assert run(src, "f", {"x": 0}).returned == 1
+        assert run(src, "f", {"x": 5}).returned == 1
+        assert run(src, "f", {"x": 1}).returned == 0
+
+    def test_while_loop(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i = 1;
+            while (i <= n) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run(src, "f", {"n": 10}).returned == 55
+
+    def test_nested_loops(self):
+        src = """
+        int f(int n) {
+            int count = 0;
+            int i = 0;
+            while (i < n) {
+                int j = 0;
+                while (j < n) { count = count + 1; j = j + 1; }
+                i = i + 1;
+            }
+            return count;
+        }
+        """
+        assert run(src, "f", {"n": 7}).returned == 49
+
+    def test_step_budget_stops_infinite_loop(self):
+        src = "int f(int x) { while (1) { x = x + 1; } return x; }"
+        with pytest.raises(StepBudgetExceeded):
+            run(src, "f", {"x": 0}, budget=5000)
+
+    def test_fall_off_end_returns_zero(self):
+        assert run("int f(int x) { x = 1; }", "f", {"x": 0}).returned == 0
+
+
+class TestErrorsAndAsserts:
+    def test_error_statement(self):
+        r = run('int f(int x) { if (x == 7) { error("seven"); } return 0; }',
+                "f", {"x": 7})
+        assert r.error and r.error_message == "seven"
+        assert r.returned is None
+
+    def test_assert_pass(self):
+        r = run("int f(int x) { assert(x > 0); return x; }", "f", {"x": 3})
+        assert not r.error and r.returned == 3
+
+    def test_assert_fail(self):
+        r = run("int f(int x) { assert(x > 0); return x; }", "f", {"x": -3})
+        assert r.error and "assertion" in r.error_message
+
+    def test_assert_records_branch(self):
+        r = run("int f(int x) { assert(x > 0); return x; }", "f", {"x": 3})
+        assert len(r.path) == 1 and r.path[0][1] is True
+
+
+class TestFunctionsAndNatives:
+    def test_user_function_call(self):
+        src = """
+        int square(int v) { return v * v; }
+        int f(int x) { return square(x) + square(x + 1); }
+        """
+        assert run(src, "f", {"x": 3}).returned == 9 + 16
+
+    def test_recursion(self):
+        src = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        """
+        assert run(src, "fact", {"n": 6}).returned == 720
+
+    def test_native_call_and_log(self):
+        natives = NativeRegistry()
+        natives.register("twice", lambda v: 2 * v)
+        r = run("int f(int x) { return twice(x) + 1; }", "f", {"x": 10}, natives)
+        assert r.returned == 21
+        assert natives.call_log == [("twice", (10,), 20)]
+
+    def test_unknown_native_raises(self):
+        with pytest.raises(InterpError):
+            run("int f(int x) { return mystery(x); }", "f", {"x": 1})
+
+    def test_native_arity_checked(self):
+        natives = NativeRegistry()
+        natives.register("one", lambda v: v, arity=1)
+        with pytest.raises(InterpError):
+            run("int f(int x) { return one(x, x); }", "f", {"x": 1}, natives)
+
+    def test_native_nonint_result_rejected(self):
+        natives = NativeRegistry()
+        natives.register("bad", lambda v: "nope", arity=1)
+        with pytest.raises(InterpError):
+            run("int f(int x) { return bad(x); }", "f", {"x": 1}, natives)
+
+    def test_duplicate_native_rejected(self):
+        natives = NativeRegistry()
+        natives.register("h", lambda v: v)
+        with pytest.raises(InterpError):
+            natives.register("h", lambda v: v + 1)
+
+    def test_missing_inputs_detected(self):
+        with pytest.raises(InterpError):
+            run("int f(int x, int y) { return x; }", "f", {"x": 1})
+
+
+class TestArrays:
+    def test_write_read(self):
+        src = """
+        int f(int i) {
+            int a[5];
+            a[2] = 42;
+            return a[i];
+        }
+        """
+        assert run(src, "f", {"i": 2}).returned == 42
+        assert run(src, "f", {"i": 3}).returned == 0
+
+    def test_out_of_bounds_read_is_program_error(self):
+        r = run("int f(int i) { int a[3]; return a[i]; }", "f", {"i": 5})
+        assert r.error and "out of bounds" in r.error_message
+
+    def test_out_of_bounds_write_is_program_error(self):
+        r = run("int f(int i) { int a[3]; a[i] = 1; return 0; }", "f", {"i": -1})
+        assert r.error and "out of bounds" in r.error_message
+
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(InterpError):
+            run("int f(int i) { int a[3]; return a + 1; }", "f", {"i": 0})
+
+    def test_scalar_as_array_rejected(self):
+        with pytest.raises(InterpError):
+            run("int f(int i) { return i[0]; }", "f", {"i": 0})
+
+
+class TestPathTracing:
+    def test_path_records_branches_in_order(self):
+        src = """
+        int f(int x) {
+            if (x > 0) { x = x - 1; }
+            if (x > 0) { x = x - 1; }
+            return x;
+        }
+        """
+        r = run(src, "f", {"x": 1})
+        assert r.path == [(0, True), (1, False)]
+
+    def test_loop_iterations_recorded(self):
+        src = "int f(int n) { while (n > 0) { n = n - 1; } return 0; }"
+        r = run(src, "f", {"n": 3})
+        assert r.path == [(0, True)] * 3 + [(0, False)]
+
+    def test_covered_is_set_of_outcomes(self):
+        src = "int f(int n) { while (n > 0) { n = n - 1; } return 0; }"
+        r = run(src, "f", {"n": 3})
+        assert r.covered == {(0, True), (0, False)}
+
+    def test_path_key_hashable(self):
+        src = "int f(int x) { if (x > 0) { return 1; } return 0; }"
+        r = run(src, "f", {"x": 1})
+        assert hash(r.path_key) == hash(((0, True),))
+
+
+class TestAgainstPythonSemantics:
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_polynomial_matches_python(self, a, b, c):
+        src = "int f(int a, int b, int c) { return a * a - 2 * b + c * a; }"
+        out = run(src, "f", {"a": a, "b": b, "c": c}).returned
+        assert out == a * a - 2 * b + c * a
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_fib_loop_matches_python(self, n):
+        src = """
+        int fib(int n) {
+            int a = 0;
+            int b = 1;
+            while (n > 0) {
+                int t = a + b;
+                a = b;
+                b = t;
+                n = n - 1;
+            }
+            return a;
+        }
+        """
+        def pyfib(k):
+            x, y = 0, 1
+            for _ in range(k):
+                x, y = y, x + y
+            return x
+
+        assert run(src, "fib", {"n": n}).returned == pyfib(n)

@@ -1,0 +1,230 @@
+"""Unit tests for the MiniC tokenizer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AssertStmt,
+    Binary,
+    Call,
+    ErrorStmt,
+    If,
+    IntLit,
+    Return,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+    parse_expression,
+    parse_program,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_simple_tokens(self):
+        toks = tokenize("int x = 5;")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert kinds == [
+            ("keyword", "int"),
+            ("ident", "x"),
+            ("op", "="),
+            ("int_lit", "5"),
+            ("op", ";"),
+            ("eof", ""),
+        ]
+
+    def test_two_char_operators(self):
+        toks = tokenize("== != <= >= && ||")
+        assert [t.text for t in toks[:-1]] == ["==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_line_comment_skipped(self):
+        toks = tokenize("x // comment\ny")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_block_comment_skipped(self):
+        toks = tokenize("x /* multi\nline */ y")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never closed")
+
+    def test_string_literal(self):
+        toks = tokenize('error("boom")')
+        assert toks[2].kind == "string" and toks[2].text == "boom"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"no close')
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+        assert toks[2].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_keywords_recognized(self):
+        toks = tokenize("if else while return error assert int")
+        assert all(t.kind == "keyword" for t in toks[:-1])
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+        e2 = parse_expression("2 * 3 + 1")
+        assert e2.op == "+"
+
+    def test_parens_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert isinstance(e, Binary) and e.op == "*"
+
+    def test_comparison_binds_looser_than_add(self):
+        e = parse_expression("a + 1 < b")
+        assert e.op == "<"
+        assert isinstance(e.left, Binary) and e.left.op == "+"
+
+    def test_logical_precedence(self):
+        e = parse_expression("a == 1 && b == 2 || c == 3")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, Unary) and e.left.op == "-"
+
+    def test_unary_not(self):
+        e = parse_expression("!(a && b)")
+        assert isinstance(e, Unary) and e.op == "!"
+
+    def test_call_with_args(self):
+        e = parse_expression("hash(x, y + 1)")
+        assert isinstance(e, Call) and e.name == "hash" and len(e.args) == 2
+
+    def test_call_no_args(self):
+        e = parse_expression("rand()")
+        assert isinstance(e, Call) and e.args == ()
+
+    def test_array_read(self):
+        e = parse_expression("a[i + 1]")
+        assert isinstance(e, ArrayRef) and e.name == "a"
+
+    def test_junk_after_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+
+def _body(src_stmts):
+    prog = parse_program("int main(int x) { " + src_stmts + " }")
+    return prog.function("main").body.stmts
+
+
+class TestStatementParsing:
+    def test_var_decl(self):
+        (s,) = _body("int y = x + 1;")
+        assert isinstance(s, VarDecl) and s.name == "y"
+
+    def test_var_decl_no_init(self):
+        (s,) = _body("int y;")
+        assert isinstance(s, VarDecl) and s.init is None
+
+    def test_array_decl(self):
+        (s,) = _body("int a[10];")
+        assert isinstance(s, ArrayDecl) and s.size == 10
+
+    def test_assignment(self):
+        (s,) = _body("x = 3;")
+        assert isinstance(s, Assign)
+
+    def test_assignment_to_array(self):
+        (s,) = _body("int a[4]; a[x] = 1;")[1:]
+        assert isinstance(s, ArrayAssign)
+
+    def test_if_else(self):
+        (s,) = _body("if (x > 0) { x = 1; } else { x = 2; }")
+        assert isinstance(s, If) and s.else_body is not None
+
+    def test_else_if_chain(self):
+        (s,) = _body(
+            "if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; }"
+        )
+        assert isinstance(s, If)
+        nested = s.else_body.stmts[0]
+        assert isinstance(nested, If) and nested.else_body is not None
+
+    def test_while(self):
+        (s,) = _body("while (x > 0) { x = x - 1; }")
+        assert isinstance(s, While)
+
+    def test_return_void(self):
+        (s,) = _body("return;")
+        assert isinstance(s, Return) and s.expr is None
+
+    def test_error_statement(self):
+        (s,) = _body('error("boom");')
+        assert isinstance(s, ErrorStmt) and s.message == "boom"
+
+    def test_error_statement_default_message(self):
+        (s,) = _body("error();")
+        assert isinstance(s, ErrorStmt) and s.message == "error"
+
+    def test_assert_statement(self):
+        (s,) = _body("assert(x > 0);")
+        assert isinstance(s, AssertStmt)
+
+    def test_expression_statement_call(self):
+        (s,) = _body("log(x);")
+        assert s.expr.name == "log"
+
+
+class TestProgramStructure:
+    def test_branch_ids_unique_and_counted(self):
+        prog = parse_program(
+            """
+            int f(int x) {
+                if (x > 0) { x = 1; }
+                while (x < 10) { x = x + 1; }
+                assert(x == 10);
+                return x;
+            }
+            int g(int y) {
+                if (y == 0) { return 1; }
+                return 0;
+            }
+            """
+        )
+        ids = [bid for bid, _line in prog.branch_sites()]
+        assert len(ids) == len(set(ids)) == 4
+        assert prog.num_branches == 4
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int f(int x) { return 0; } int f(int y) { return 1; }")
+
+    def test_missing_function_lookup(self):
+        prog = parse_program("int f(int x) { return 0; }")
+        with pytest.raises(KeyError):
+            prog.function("nope")
+
+    def test_params_parsed(self):
+        prog = parse_program("int f(int a, int b, int c) { return a; }")
+        assert prog.function("f").params == ("a", "b", "c")
+
+    def test_no_params(self):
+        prog = parse_program("int f() { return 7; }")
+        assert prog.function("f").params == ()
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("int f(int x) { if x } ")
+        assert "line" in str(exc.value)

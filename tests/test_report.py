@@ -1,0 +1,94 @@
+"""Tests for the markdown session report."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang import NativeRegistry, parse_program
+from repro.search import DirectedSearch, SearchConfig
+from repro.search.report import render_report
+from repro.symbolic import ConcretizationMode
+
+SRC = """
+int main(int x, int y) {
+    if (x == hash(y)) {
+        if (y == 10) { error("deep bug"); }
+    }
+    return 0;
+}
+"""
+
+
+def run_session():
+    natives = NativeRegistry()
+    natives.register("hash", lambda y: (y * 31 + 7) % 1000)
+    program = parse_program(SRC)
+    search = DirectedSearch.for_mode(
+        program, "main", natives,
+        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=20),
+    )
+    return program, search, search.run({"x": 33, "y": 42})
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        program, search, result = run_session()
+        text = render_report(
+            result, program, "main", mode="higher_order", store=search.store
+        )
+        for heading in (
+            "## Errors",
+            "## Branch coverage",
+            "## Learned function samples",
+            "## Execution genealogy",
+        ):
+            assert heading in text
+
+    def test_error_details_rendered(self):
+        program, search, result = run_session()
+        text = render_report(result, program, "main", store=search.store)
+        assert "deep bug" in text
+        assert "replay:" in text
+        assert "y=10" in text
+
+    def test_full_coverage_has_no_missing_section(self):
+        program, search, result = run_session()
+        text = render_report(result, program, "main")
+        assert result.coverage.ratio() == 1.0
+        assert "Missing outcomes" not in text
+
+    def test_missing_outcomes_listed_when_incomplete(self):
+        natives = NativeRegistry()
+        natives.register("hash", lambda y: (y * 31 + 7) % 1000)
+        program = parse_program(SRC)
+        search = DirectedSearch.for_mode(
+            program, "main", natives,
+            ConcretizationMode.UNSOUND, SearchConfig(max_runs=5),
+        )
+        result = search.run({"x": 33, "y": 42})
+        text = render_report(result, program, "main")
+        assert "Missing outcomes" in text
+
+    def test_no_errors_case(self):
+        program = parse_program("int main(int x) { return x; }")
+        search = DirectedSearch.for_mode(
+            program, "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=5),
+        )
+        result = search.run({"x": 1})
+        text = render_report(result, program, "main")
+        assert "No errors found" in text
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        src_path = tmp_path / "p.minic"
+        src_path.write_text(SRC)
+        report_path = tmp_path / "session.md"
+        code = main(
+            [
+                "run", str(src_path), "--seed", "x=33,y=42",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        content = report_path.read_text()
+        assert content.startswith("# Testing session")
+        assert "Execution genealogy" in content

@@ -1,0 +1,155 @@
+"""Property test of the paper's Theorem 4 (the Simulation Theorem).
+
+    If ALT(pc^SC) is satisfiable, then POST(ALT(pc^UF)) is valid.
+
+For a family of programs with unknown-function calls, run the same inputs
+under sound concretization and under higher-order symbolic execution, pair
+up the negatable conditions (they come from the same branch occurrences),
+and check: whenever the SC alternate constraint is satisfiable, the
+higher-order POST formula (with the run's samples as antecedent) is proved
+VALID by the validity engine.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SampleStore, alternate_constraint, negatable_indices
+from repro.lang import NativeRegistry, parse_program
+from repro.solver import Solver, TermManager
+from repro.solver.validity import ValidityChecker, ValidityStatus
+from repro.symbolic import ConcolicEngine, ConcretizationMode
+
+PROGRAMS = [
+    (
+        "p1",
+        """
+        int p1(int x, int y) {
+            if (x == hash(y)) {
+                if (y > 5) { return 1; }
+            }
+            return 0;
+        }
+        """,
+    ),
+    (
+        "p2",
+        """
+        int p2(int x, int y) {
+            int v = hash(x);
+            if (v == hash(y)) { return 1; }
+            if (x + y > 20) { return 2; }
+            return 0;
+        }
+        """,
+    ),
+    (
+        "p3",
+        """
+        int p3(int x, int y) {
+            if (hash(x + 1) > 100) {
+                if (x < y) { return 1; }
+            }
+            if (y == 7) { return 2; }
+            return 0;
+        }
+        """,
+    ),
+    (
+        "p4",
+        """
+        int p4(int x, int y) {
+            int a = x * y;
+            if (a == 12) { return 1; }
+            if (x - y == 3) { return 2; }
+            return 0;
+        }
+        """,
+    ),
+]
+
+
+def make_natives():
+    n = NativeRegistry()
+    n.register("hash", lambda y: (y * 37 + 11) % 211)
+    return n
+
+
+def run_both(entry, src, inputs):
+    """Run SC and HO engines on the same inputs with shared concrete hash."""
+    prog = parse_program(src)
+    tm_sc = TermManager()
+    tm_ho = TermManager()
+    sc = ConcolicEngine(prog, make_natives(), ConcretizationMode.SOUND, tm_sc)
+    ho = ConcolicEngine(
+        prog, make_natives(), ConcretizationMode.HIGHER_ORDER, tm_ho
+    )
+    return (tm_sc, sc.run(entry, inputs)), (tm_ho, ho.run(entry, inputs))
+
+
+@pytest.mark.parametrize("entry,src", PROGRAMS)
+@pytest.mark.parametrize(
+    "inputs",
+    [
+        {"x": 0, "y": 0},
+        {"x": 3, "y": 4},
+        {"x": 12, "y": 1},
+        {"x": -5, "y": 30},
+        {"x": 48, "y": 7},
+    ],
+)
+def test_simulation_theorem(entry, src, inputs):
+    (tm_sc, run_sc), (tm_ho, run_ho) = run_both(entry, src, inputs)
+    # both engines saw the same branch trace
+    assert run_sc.path == run_ho.path
+
+    sc_idx = negatable_indices(run_sc.path_conditions)
+    ho_idx = negatable_indices(run_ho.path_conditions)
+    # pair conditions by branch occurrence (path position)
+    sc_by_pos = {
+        run_sc.path_conditions[i].path_pos: i
+        for i in sc_idx
+        if run_sc.path_conditions[i].path_pos >= 0
+    }
+    ho_by_pos = {
+        run_ho.path_conditions[i].path_pos: i
+        for i in ho_idx
+        if run_ho.path_conditions[i].path_pos >= 0
+    }
+
+    checked = 0
+    for pos, i_sc in sc_by_pos.items():
+        if pos not in ho_by_pos:
+            # HO records strictly more conditions than SC, never fewer:
+            # a condition SC saw must exist in the HO pc as well
+            pytest.fail(f"branch at pos {pos} missing from the HO pc")
+        alt_sc = alternate_constraint(tm_sc, run_sc.path_conditions, i_sc)
+        solver = Solver(tm_sc)
+        solver.add(alt_sc)
+        if not solver.check().sat:
+            continue  # theorem's hypothesis not met
+        # hypothesis met: POST(ALT(pc^UF)) must be valid
+        i_ho = ho_by_pos[pos]
+        alt_ho = alternate_constraint(tm_ho, run_ho.path_conditions, i_ho)
+        checker = ValidityChecker(tm_ho)
+        verdict = checker.check(
+            alt_ho,
+            list(run_ho.input_vars.values()),
+            run_ho.samples,
+            defaults=dict(inputs),
+        )
+        assert verdict.status is ValidityStatus.VALID, (
+            f"Theorem 4 violated at branch {pos}: SC alternate satisfiable "
+            f"but POST invalid/unknown ({verdict.note}); alt_ho = {alt_ho}"
+        )
+        checked += 1
+
+
+@given(
+    x=st.integers(min_value=-50, max_value=50),
+    y=st.integers(min_value=-50, max_value=50),
+    program_index=st.integers(min_value=0, max_value=len(PROGRAMS) - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulation_theorem_property(x, y, program_index):
+    entry, src = PROGRAMS[program_index]
+    test_simulation_theorem(entry, src, {"x": x, "y": y})

@@ -1,0 +1,326 @@
+"""Unit and property tests for the SMT facade (LIA + EUF via Ackermann)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.solver import Solver, TermManager, ackermannize, evaluate
+
+
+@pytest.fixture()
+def tm():
+    return TermManager()
+
+
+@pytest.fixture()
+def solver(tm):
+    return Solver(tm)
+
+
+class TestPlainArithmetic:
+    def test_empty_sat(self, solver):
+        assert solver.check().sat
+
+    def test_equality(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(tm.mk_eq(x, tm.mk_int(42)))
+        r = solver.check()
+        assert r.sat and r.model.ints["x"] == 42
+
+    def test_window_with_diseq(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(
+            tm.mk_gt(x, tm.mk_int(5)),
+            tm.mk_lt(x, tm.mk_int(8)),
+            tm.mk_ne(x, tm.mk_int(7)),
+        )
+        r = solver.check()
+        assert r.sat and r.model.ints["x"] == 6
+
+    def test_unsat_bounds(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(tm.mk_gt(x, tm.mk_int(5)), tm.mk_lt(x, tm.mk_int(5)))
+        assert not solver.check().sat
+
+    def test_parity_unsat(self, tm, solver):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        two_x = tm.mk_mul(tm.mk_int(2), x)
+        two_y_plus_1 = tm.mk_add(tm.mk_mul(tm.mk_int(2), y), tm.mk_int(1))
+        solver.add(tm.mk_eq(two_x, two_y_plus_1))
+        assert not solver.check().sat
+
+    def test_assert_non_bool_rejected(self, tm, solver):
+        with pytest.raises(SolverError):
+            solver.add(tm.mk_int(1))
+
+
+class TestBooleanStructure:
+    def test_disjunction(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(
+            tm.mk_or(tm.mk_eq(x, tm.mk_int(1)), tm.mk_eq(x, tm.mk_int(2))),
+            tm.mk_ne(x, tm.mk_int(1)),
+        )
+        r = solver.check()
+        assert r.sat and r.model.ints["x"] == 2
+
+    def test_implication(self, tm, solver):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(
+            tm.mk_implies(tm.mk_gt(x, tm.mk_int(0)), tm.mk_eq(y, tm.mk_int(9))),
+            tm.mk_eq(x, tm.mk_int(5)),
+        )
+        r = solver.check()
+        assert r.sat and r.model.ints["y"] == 9
+
+    def test_bool_vars(self, tm, solver):
+        from repro.solver import Sort
+
+        p = tm.mk_var("p", Sort.BOOL)
+        q = tm.mk_var("q", Sort.BOOL)
+        solver.add(tm.mk_or(p, q), tm.mk_not(p))
+        r = solver.check()
+        assert r.sat and r.model.bools["q"] is True
+
+    def test_assert_false_unsat(self, tm, solver):
+        solver.add(tm.false_)
+        assert not solver.check().sat
+
+    def test_nested_ite_int(self, tm, solver):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        ite = tm.mk_ite(tm.mk_gt(x, tm.mk_int(0)), tm.mk_int(10), tm.mk_int(20))
+        solver.add(tm.mk_eq(y, ite), tm.mk_eq(x, tm.mk_int(3)))
+        r = solver.check()
+        assert r.sat and r.model.ints["y"] == 10
+
+    def test_ite_else_branch(self, tm, solver):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        ite = tm.mk_ite(tm.mk_gt(x, tm.mk_int(0)), tm.mk_int(10), tm.mk_int(20))
+        solver.add(tm.mk_eq(y, ite), tm.mk_eq(x, tm.mk_int(-3)))
+        r = solver.check()
+        assert r.sat and r.model.ints["y"] == 20
+
+
+class TestUninterpretedFunctions:
+    def test_simple_application_sat(self, tm, solver):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(tm.mk_eq(x, tm.mk_app(h, [y])))
+        r = solver.check()
+        assert r.sat
+        hv = r.model.apply(h, (r.model.ints["y"],))
+        assert r.model.ints["x"] == hv
+
+    def test_functional_consistency_unsat(self, tm, solver):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(
+            tm.mk_eq(x, y),
+            tm.mk_ne(tm.mk_app(h, [x]), tm.mk_app(h, [y])),
+        )
+        assert not solver.check().sat
+
+    def test_functional_consistency_through_arith(self, tm, solver):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        # x = y + 0 -> h(x) = h(y)
+        solver.add(
+            tm.mk_eq(x, tm.mk_add(y, tm.mk_int(0))),
+            tm.mk_ne(tm.mk_app(h, [x]), tm.mk_app(h, [y])),
+        )
+        assert not solver.check().sat
+
+    def test_nested_applications(self, tm, solver):
+        h = tm.mk_function("h", 1)
+        x = tm.mk_var("x")
+        hx = tm.mk_app(h, [x])
+        hhx = tm.mk_app(h, [hx])
+        solver.add(tm.mk_eq(hhx, tm.mk_int(7)), tm.mk_eq(hx, x))
+        r = solver.check()
+        # h(x) = x means h(h(x)) = h(x) = x = 7
+        assert r.sat and r.model.ints["x"] == 7
+
+    def test_binary_function(self, tm, solver):
+        g = tm.mk_function("g", 2)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(
+            tm.mk_eq(tm.mk_app(g, [x, y]), tm.mk_int(3)),
+            tm.mk_eq(tm.mk_app(g, [y, x]), tm.mk_int(4)),
+            tm.mk_eq(x, y),
+        )
+        # g(x,y) and g(y,x) coincide when x=y: 3 != 4 -> unsat
+        assert not solver.check().sat
+
+    def test_sample_constraints(self, tm, solver):
+        # encode paper-style antecedent: h(42)=567 /\ x = h(y) /\ y = 42
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(
+            tm.mk_eq(tm.mk_app(h, [tm.mk_int(42)]), tm.mk_int(567)),
+            tm.mk_eq(x, tm.mk_app(h, [y])),
+            tm.mk_eq(y, tm.mk_int(42)),
+        )
+        r = solver.check()
+        assert r.sat and r.model.ints["x"] == 567
+
+    def test_arith_inside_application(self, tm, solver):
+        h = tm.mk_function("h", 1)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        solver.add(
+            tm.mk_ne(
+                tm.mk_app(h, [tm.mk_add(x, tm.mk_int(1))]),
+                tm.mk_app(h, [tm.mk_add(tm.mk_int(1), y)]),
+            ),
+            tm.mk_eq(x, y),
+        )
+        assert not solver.check().sat
+
+
+class TestModelQuality:
+    def test_model_verification_catches_everything(self, tm):
+        # a broad sanity pass: verified models never raise
+        solver = Solver(tm, verify_models=True)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        h = tm.mk_function("h", 1)
+        solver.add(
+            tm.mk_eq(tm.mk_app(h, [x]), tm.mk_add(tm.mk_app(h, [y]), tm.mk_int(1))),
+            tm.mk_gt(x, y),
+        )
+        r = solver.check()
+        assert r.sat
+
+    def test_model_hides_internal_vars(self, tm, solver):
+        x = tm.mk_var("x")
+        h = tm.mk_function("h", 1)
+        solver.add(tm.mk_gt(tm.mk_app(h, [x]), tm.mk_int(0)))
+        r = solver.check()
+        assert r.sat
+        assert all(not name.startswith("_") for name in r.model.ints)
+
+    def test_evaluate_model_consistency(self, tm, solver):
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        f = tm.mk_eq(tm.mk_add(x, y), tm.mk_int(10))
+        solver.add(f)
+        r = solver.check()
+        assert r.sat
+        assert evaluate(f, r.model) is True
+
+
+class TestPushPop:
+    def test_scoped_assertions(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(tm.mk_gt(x, tm.mk_int(0)))
+        solver.push()
+        solver.add(tm.mk_lt(x, tm.mk_int(0)))
+        assert not solver.check().sat
+        solver.pop()
+        assert solver.check().sat
+
+    def test_pop_without_push_raises(self, solver):
+        with pytest.raises(SolverError):
+            solver.pop()
+
+    def test_check_with_extra(self, tm, solver):
+        x = tm.mk_var("x")
+        solver.add(tm.mk_gt(x, tm.mk_int(0)))
+        assert not solver.check(tm.mk_lt(x, tm.mk_int(0))).sat
+        assert solver.check().sat  # extra did not persist
+
+
+class TestAckermannization:
+    def test_rewrites_remove_applications(self, tm):
+        h = tm.mk_function("h", 1)
+        x = tm.mk_var("x")
+        f = tm.mk_eq(tm.mk_app(h, [x]), tm.mk_int(1))
+        rewritten, app_map, constraints = ackermannize(tm, [f])
+        assert len(app_map) == 1
+        assert not any(t.is_app for t in rewritten[0].iter_dag())
+
+    def test_pairwise_constraints_count(self, tm):
+        h = tm.mk_function("h", 1)
+        xs = [tm.mk_var(f"k{i}") for i in range(4)]
+        fs = [tm.mk_eq(tm.mk_app(h, [x]), tm.mk_int(0)) for x in xs]
+        _, app_map, constraints = ackermannize(tm, fs)
+        assert len(app_map) == 4
+        assert len(constraints) == 6  # C(4,2)
+
+    def test_nested_apps_use_inner_var(self, tm):
+        h = tm.mk_function("h", 1)
+        x = tm.mk_var("x")
+        hhx = tm.mk_app(h, [tm.mk_app(h, [x])])
+        rewritten, app_map, _ = ackermannize(tm, [tm.mk_eq(hhx, tm.mk_int(0))])
+        # no APP nodes survive anywhere
+        assert not any(t.is_app for t in rewritten[0].iter_dag())
+
+
+@st.composite
+def arith_formula(draw, tm_holder):
+    """Random small formulas over x, y with +, comparisons, and/or/not."""
+    tm = tm_holder["tm"]
+    x, y = tm.mk_var("x"), tm.mk_var("y")
+
+    def atom():
+        lhs = draw(
+            st.sampled_from(
+                [x, y, tm.mk_add(x, y), tm.mk_sub(x, y), tm.mk_mul(tm.mk_int(2), x)]
+            )
+        )
+        c = tm.mk_int(draw(st.integers(min_value=-8, max_value=8)))
+        op = draw(st.sampled_from(["eq", "le", "lt", "ne"]))
+        return {
+            "eq": tm.mk_eq,
+            "le": tm.mk_le,
+            "lt": tm.mk_lt,
+            "ne": tm.mk_ne,
+        }[op](lhs, c)
+
+    formula = atom()
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        conn = draw(st.sampled_from(["and", "or", "not"]))
+        if conn == "and":
+            formula = tm.mk_and(formula, atom())
+        elif conn == "or":
+            formula = tm.mk_or(formula, atom())
+        else:
+            formula = tm.mk_not(formula)
+    return formula
+
+
+class TestPropertySat:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_models_always_verify(self, data):
+        tm = TermManager()
+        holder = {"tm": tm}
+        formula = data.draw(arith_formula(holder))
+        solver = Solver(tm, verify_models=True)
+        solver.add(formula)
+        # bound the search space to keep branch&bound snappy
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        for v in (x, y):
+            solver.add(tm.mk_ge(v, tm.mk_int(-32)), tm.mk_le(v, tm.mk_int(32)))
+        result = solver.check()
+        if result.sat:
+            assert evaluate(formula, result.model) is True
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_with_brute_force(self, data):
+        tm = TermManager()
+        holder = {"tm": tm}
+        formula = data.draw(arith_formula(holder))
+        solver = Solver(tm)
+        solver.add(formula)
+        x, y = tm.mk_var("x"), tm.mk_var("y")
+        for v in (x, y):
+            solver.add(tm.mk_ge(v, tm.mk_int(-10)), tm.mk_le(v, tm.mk_int(10)))
+        result = solver.check()
+
+        from repro.solver import Model
+
+        brute = any(
+            evaluate(formula, Model(ints={"x": a, "y": b}))
+            for a in range(-10, 11)
+            for b in range(-10, 11)
+        )
+        assert result.sat == brute

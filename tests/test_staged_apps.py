@@ -1,0 +1,211 @@
+"""Tests for the protocol/auth and staged-calculator applications."""
+
+import pytest
+
+from repro.apps import (
+    build_auth_app,
+    build_calculator_app,
+    build_protocol_app,
+    codes_to_word,
+)
+from repro.apps.hashes import crc32, toy_block_cipher
+from repro.apps.protocol_app import AUTH_SECRET_KEY
+from repro.baselines import RandomFuzzer
+from repro.lang import Interpreter
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+class TestProtocolAppConcrete:
+    def test_malformed_packet_rejected(self):
+        app = build_protocol_app()
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs(kind=1, checksum=123456))
+        assert result.returned == -1
+
+    def test_valid_ping_accepted(self):
+        app = build_protocol_app()
+        natives = app.fresh_natives()
+        crc = natives.lookup("crc")
+        interp = Interpreter(app.program, natives)
+        checksum = crc(1, 0, 0)
+        result = interp.run(
+            app.entry, app.initial_inputs(kind=1, checksum=checksum)
+        )
+        assert result.returned == 1
+
+    def test_write_bug_reachable_with_valid_checksum(self):
+        app = build_protocol_app()
+        natives = app.fresh_natives()
+        crc = natives.lookup("crc")
+        interp = Interpreter(app.program, natives)
+        checksum = crc(3, 5, 5)
+        result = interp.run(
+            app.entry, app.initial_inputs(kind=3, a=5, b=5, checksum=checksum)
+        )
+        assert result.error and "aliasing" in result.error_message
+
+
+class TestProtocolAppSearch:
+    def test_higher_order_forges_checksums_and_finds_bugs(self):
+        app = build_protocol_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=80),
+        )
+        result = search.run(app.initial_inputs())
+        messages = {e.message for e in result.errors}
+        assert "write bug: aliasing addresses" in messages
+        assert "reset bug: magic argument" in messages
+        assert result.divergences == 0
+        # the generated packets really carry valid checksums
+        natives = app.fresh_natives()
+        crc = natives.lookup("crc")
+        for e in result.errors:
+            assert e.inputs["checksum"] == crc(
+                e.inputs["kind"], e.inputs["a"], e.inputs["b"]
+            )
+
+    def test_unsound_concretization_cannot_forge(self):
+        app = build_protocol_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.UNSOUND, SearchConfig(max_runs=80),
+        )
+        result = search.run(app.initial_inputs())
+        assert not result.found_error
+
+    def test_random_fuzzing_rejected_at_checksum(self):
+        app = build_protocol_app()
+        fuzzer = RandomFuzzer(
+            app.program, app.entry, app.fresh_natives(),
+            default_range=(-100000, 100000), seed=2,
+        )
+        result = fuzzer.run(400)
+        assert not result.found_error
+        assert result.coverage.ratio() < 0.3
+
+
+class TestAuthApp:
+    def test_mac_matches_cipher(self):
+        app = build_auth_app()
+        natives = app.fresh_natives()
+        mac = natives.lookup("mac")
+        assert mac(7777) == toy_block_cipher(7777, AUTH_SECRET_KEY)
+
+    def test_wrong_tag_rejected(self):
+        app = build_auth_app()
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(
+            app.entry, app.initial_inputs(message=7777, tag=0, action=3)
+        )
+        assert result.returned == -1
+
+    def test_higher_order_forges_mac(self):
+        app = build_auth_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+        )
+        result = search.run(app.initial_inputs())
+        assert result.found_error
+        err = result.errors[0]
+        assert err.inputs["message"] == 7777
+        assert err.inputs["tag"] == toy_block_cipher(7777, AUTH_SECRET_KEY)
+        assert err.inputs["action"] == 3
+
+    def test_full_coverage_by_higher_order(self):
+        app = build_auth_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+        )
+        result = search.run(app.initial_inputs())
+        assert result.coverage.ratio() == 1.0
+
+
+class TestCalculatorAppConcrete:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_calculator_app()
+
+    def test_load_updates_register(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("load", "ra", 5))
+        assert result.returned == 5 + 20
+
+    def test_addi_accumulates(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("addi", "rb", 7))
+        assert result.returned == 10 + 27
+
+    def test_halt_short_circuits(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("halt"))
+        assert result.returned == 100
+
+    def test_unknown_command_rejected(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("zzzz", "ra", 1))
+        assert result.returned == -1
+
+    def test_missing_register_rejected(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("load", "qq", 1))
+        assert result.returned == -2
+
+    def test_division_bug_concrete(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("divi", "ra", 0))
+        assert result.error
+
+    def test_division_works_nonzero(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.initial_inputs("divi", "ra", 2))
+        assert result.returned == 5 + 20
+
+
+class TestCalculatorAppSearch:
+    def test_higher_order_synthesizes_both_keywords(self):
+        app = build_calculator_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=200),
+        )
+        result = search.run(app.initial_inputs("zzzz", "qqqq", 1))
+        assert result.found_error
+        err = result.errors[0]
+        cmd = codes_to_word([err.inputs[f"w{i}"] for i in range(4)])
+        reg = codes_to_word([err.inputs[f"v{i}"] for i in range(4)])
+        assert cmd == "divi" and reg in ("ra", "rb")
+        assert err.inputs["operand"] == 0
+        assert result.divergences == 0
+
+    def test_higher_order_near_total_coverage(self):
+        app = build_calculator_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=200),
+        )
+        result = search.run(app.initial_inputs("zzzz", "qqqq", 1))
+        assert result.coverage.ratio() >= 0.9
+
+    def test_random_stuck_in_stage_one(self):
+        app = build_calculator_app()
+        fuzzer = RandomFuzzer(
+            app.program, app.entry, app.fresh_natives(),
+            ranges={n: (0, 127) for n in app.input_names if n != "operand"},
+            seed=4,
+        )
+        result = fuzzer.run(500)
+        assert not result.found_error
+        assert result.coverage.ratio() < 0.5
+
+    def test_dart_stuck_in_stage_one(self):
+        app = build_calculator_app()
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.UNSOUND, SearchConfig(max_runs=100),
+        )
+        result = search.run(app.initial_inputs("zzzz", "qqqq", 1))
+        assert not result.found_error

@@ -1,0 +1,201 @@
+"""Tests for compositional function summaries (§8 combination)."""
+
+import pytest
+
+from repro.core import (
+    CompositionalReachability,
+    FunctionSummary,
+    SummaryCase,
+    SummaryExtractor,
+)
+from repro.errors import ReproError
+from repro.lang import Interpreter, NativeRegistry, parse_program
+from repro.solver import Solver, TermManager, evaluate
+from repro.solver.validity import Sample, ValidityStatus
+
+ABS_SRC = """
+int myabs(int v) {
+    if (v < 0) { return 0 - v; }
+    return v;
+}
+"""
+
+CLAMP_SRC = """
+int clamp(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+"""
+
+HASHED_HELPER_SRC = """
+int classify(int v) {
+    if (hash(v) > 500) { return 1; }
+    return 0;
+}
+"""
+
+
+def natives_with_hash():
+    n = NativeRegistry()
+    n.register("hash", lambda y: (y * 31 + 7) % 1000)
+    return n
+
+
+class TestSummaryExtraction:
+    def test_abs_has_two_cases(self):
+        extractor = SummaryExtractor(parse_program(ABS_SRC), NativeRegistry())
+        summary = extractor.extract("myabs", {"v": 5})
+        assert len(summary.cases) == 2
+        assert summary.name == "myabs"
+
+    def test_clamp_has_three_cases(self):
+        extractor = SummaryExtractor(parse_program(CLAMP_SRC), NativeRegistry())
+        summary = extractor.extract("clamp", {"v": 5, "lo": 0, "hi": 10})
+        assert len(summary.cases) == 3
+
+    def test_cases_deduplicated(self):
+        extractor = SummaryExtractor(parse_program(ABS_SRC), NativeRegistry())
+        summary = extractor.extract("myabs", {"v": 5}, max_runs=20)
+        keys = [c.path_key for c in summary.cases]
+        assert len(keys) == len(set(keys))
+
+    def test_case_semantics_against_interpreter(self):
+        """Must-fact check: any model of a case's guard makes the function
+        return the case's ret value."""
+        tm = TermManager()
+        extractor = SummaryExtractor(
+            parse_program(CLAMP_SRC), NativeRegistry(), manager=tm
+        )
+        summary = extractor.extract("clamp", {"v": 5, "lo": 0, "hi": 10})
+        interp = Interpreter(parse_program(CLAMP_SRC))
+        for case in summary.cases:
+            solver = Solver(tm)
+            solver.add(case.guard)
+            result = solver.check()
+            assert result.sat
+            inputs = {
+                p.name: result.model.ints.get(p.name, 0) for p in summary.params
+            }
+            actual = interp.run("clamp", inputs).returned
+            expected = evaluate(case.ret, result.model)
+            assert actual == expected
+
+    def test_summary_rendering(self):
+        extractor = SummaryExtractor(parse_program(ABS_SRC), NativeRegistry())
+        summary = extractor.extract("myabs", {"v": 5})
+        text = str(summary)
+        assert "summary myabs(v)" in text and "ret =" in text
+
+    def test_uf_summary_keeps_applications(self):
+        extractor = SummaryExtractor(
+            parse_program(HASHED_HELPER_SRC), natives_with_hash()
+        )
+        summary = extractor.extract("classify", {"v": 3})
+        assert any("hash" in str(c.guard) for c in summary.cases)
+
+
+class TestSummaryInstantiation:
+    def test_instantiate_substitutes_args(self):
+        tm = TermManager()
+        extractor = SummaryExtractor(
+            parse_program(ABS_SRC), NativeRegistry(), manager=tm
+        )
+        summary = extractor.extract("myabs", {"v": 5})
+        x = tm.mk_var("caller_x")
+        ret = tm.mk_var("r")
+        formula = summary.instantiate(tm, [x], ret)
+        names = {v.name for v in formula.free_vars()}
+        assert "caller_x" in names and "r" in names
+        assert "v" not in names
+
+    def test_arity_mismatch_rejected(self):
+        tm = TermManager()
+        summary = FunctionSummary(name="g", params=[tm.mk_var("a")])
+        with pytest.raises(ReproError):
+            summary.instantiate(tm, [], tm.mk_var("r"))
+
+    def test_empty_summary_is_false(self):
+        tm = TermManager()
+        summary = FunctionSummary(name="g", params=[tm.mk_var("a")])
+        out = summary.instantiate(tm, [tm.mk_var("x")], tm.mk_var("r"))
+        assert out is tm.false_
+
+
+class TestCompositionalReachability:
+    def test_sat_query_through_abs(self):
+        tm = TermManager()
+        extractor = SummaryExtractor(
+            parse_program(ABS_SRC), NativeRegistry(), manager=tm
+        )
+        summary = extractor.extract("myabs", {"v": 5})
+        x = tm.mk_var("cx")
+        r = tm.mk_var("cr")
+        comp = CompositionalReachability(tm)
+        # can myabs(cx) == 7 with cx negative?
+        cond = tm.mk_and(
+            tm.mk_eq(r, tm.mk_int(7)), tm.mk_lt(x, tm.mk_int(0))
+        )
+        result = comp.check_sat(summary, [x], cond, ret_var=r)
+        assert result.sat
+        assert result.model.ints["cx"] == -7
+
+    def test_unreachable_condition(self):
+        tm = TermManager()
+        extractor = SummaryExtractor(
+            parse_program(ABS_SRC), NativeRegistry(), manager=tm
+        )
+        summary = extractor.extract("myabs", {"v": 5})
+        x = tm.mk_var("cx")
+        r = tm.mk_var("cr")
+        comp = CompositionalReachability(tm)
+        # myabs never returns a negative number
+        cond = tm.mk_lt(r, tm.mk_int(0))
+        result = comp.check_sat(summary, [x], cond, ret_var=r)
+        assert not result.sat
+
+    def test_higher_order_compositional_query(self):
+        """The §8 combination: a summary whose guard contains an unknown
+        hash, decided with the sample antecedent (validity, not sat)."""
+        tm = TermManager()
+        natives = natives_with_hash()
+        extractor = SummaryExtractor(
+            parse_program(HASHED_HELPER_SRC), natives, manager=tm
+        )
+        # seed corpus includes a value whose hash exceeds 500
+        # (hash(20) = 627), seeding the then-branch case
+        summary = extractor.extract(
+            "classify", {"v": 3}, max_runs=10, extra_seeds=[{"v": 20}]
+        )
+        assert len(summary.cases) == 2
+        # samples observed during extraction live in the extractor's store
+        comp = CompositionalReachability(tm, store=extractor.store)
+        x = tm.mk_var("cx")
+        r = tm.mk_var("cr")
+        cond = tm.mk_eq(r, tm.mk_int(1))  # want classify(cx) == 1
+        verdict = comp.check_validity(
+            summary, [x], cond, input_vars=[x], ret_var=r
+        )
+        assert verdict.status is ValidityStatus.VALID
+        inputs = verdict.strategy.concretize(extractor.store.samples())
+        # the witness must really classify to 1 under the actual hash
+        interp = Interpreter(parse_program(HASHED_HELPER_SRC), natives_with_hash())
+        assert interp.run("classify", {"v": inputs["cx"]}).returned == 1
+
+    def test_existential_sat_on_uf_summary_can_mislead(self):
+        """Contrast: plain satisfiability invents hash behaviour, so the
+        produced witness need not classify correctly (the §4.2 trap)."""
+        tm = TermManager()
+        natives = natives_with_hash()
+        extractor = SummaryExtractor(
+            parse_program(HASHED_HELPER_SRC), natives, manager=tm
+        )
+        summary = extractor.extract(
+            "classify", {"v": 3}, max_runs=10, extra_seeds=[{"v": 20}]
+        )
+        comp = CompositionalReachability(tm)
+        x = tm.mk_var("sx")
+        r = tm.mk_var("sr")
+        cond = tm.mk_eq(r, tm.mk_int(1))
+        result = comp.check_sat(summary, [x], cond, ret_var=r)
+        assert result.sat  # the solver can always invent a suitable hash

@@ -1,0 +1,109 @@
+"""Theorem 1: an exhaustive directed search is a verification procedure.
+
+"Given a program P ..., a directed search using a path constraint
+generation and a constraint solver that are both sound and complete
+exercises all feasible program paths exactly once. Thus, if a program
+statement has not been executed when the search is over, this statement
+is not executable in any context."
+
+For loop-free programs within the solver's theory (no unknown functions),
+our SOUND-mode pipeline is sound and complete, so when the search stops
+with budget to spare, the uncovered branch outcomes are provably
+infeasible — cross-checked here by exhaustive input enumeration.
+"""
+
+import itertools
+
+import pytest
+
+from repro.lang import Interpreter, NativeRegistry, parse_program
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+DEAD_BRANCH = """
+int main(int x) {
+    if (x > 5) {
+        if (x < 3) {
+            error("provably unreachable");
+        }
+        return 1;
+    }
+    return 0;
+}
+"""
+
+ALL_FEASIBLE = """
+int main(int x, int y) {
+    if (x > y) {
+        if (x + y == 10) { return 1; }
+        return 2;
+    }
+    if (y == x + 7) { return 3; }
+    return 4;
+}
+"""
+
+
+class TestTheorem1:
+    def test_dead_branch_never_covered_and_search_terminates(self):
+        search = DirectedSearch.for_mode(
+            parse_program(DEAD_BRANCH), "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=50),
+        )
+        result = search.run({"x": 0})
+        # search stopped well below budget: frontier genuinely exhausted
+        assert result.runs < 50
+        assert not result.found_error
+        # the inner then-branch (branch 1, True) stays uncovered
+        assert not result.coverage.is_covered(1, True)
+        # cross-check by brute force: no input in a wide window reaches it
+        interp = Interpreter(parse_program(DEAD_BRANCH))
+        for x in range(-50, 51):
+            assert not interp.run("main", {"x": x}).error
+
+    def test_all_feasible_outcomes_covered(self):
+        search = DirectedSearch.for_mode(
+            parse_program(ALL_FEASIBLE), "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=60),
+        )
+        result = search.run({"x": 0, "y": 0})
+        assert result.runs < 60  # exhaustion, not budget
+        # every return value 1..4 is reachable; brute-force the oracle set
+        interp = Interpreter(parse_program(ALL_FEASIBLE))
+        reachable = set()
+        for x, y in itertools.product(range(-12, 13), repeat=2):
+            reachable.add(interp.run("main", {"x": x, "y": y}).returned)
+        search_returns = {
+            r.result.returned for r in result.executions
+        }
+        assert reachable <= search_returns
+        assert result.coverage.ratio() == 1.0
+
+    def test_distinct_paths_explored_once(self):
+        """'exercises all feasible program paths exactly once': no two
+        non-probe executions follow the same path."""
+        search = DirectedSearch.for_mode(
+            parse_program(ALL_FEASIBLE), "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=60),
+        )
+        result = search.run({"x": 0, "y": 0})
+        paths = [r.result.path_key for r in result.executions]
+        assert len(paths) == len(set(paths))
+
+    def test_infeasible_assert_side_proved(self):
+        src = """
+        int main(int a, int b) {
+            int s = a + b;
+            int d = a - b;
+            // (a+b) + (a-b) == 2a always: the assert can never fail
+            assert(s + d == 2 * a);
+            return s;
+        }
+        """
+        search = DirectedSearch.for_mode(
+            parse_program(src), "main", NativeRegistry(),
+            ConcretizationMode.SOUND, SearchConfig(max_runs=30),
+        )
+        result = search.run({"a": 1, "b": 2})
+        assert result.runs < 30
+        assert not result.found_error  # failing side proved infeasible

@@ -1,0 +1,110 @@
+"""Tests for the TinyVM application (checksum + bytecode + deep state)."""
+
+import pytest
+
+from repro.apps import OPCODES, build_tinyvm_app
+from repro.baselines import RandomFuzzer
+from repro.lang import Interpreter
+from repro.search import DirectedSearch, SearchConfig
+from repro.symbolic import ConcretizationMode
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_tinyvm_app()
+
+
+class TestVmSemantics:
+    def test_halt_program_returns_zero(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.valid_inputs([0] * 6))
+        assert result.returned == 0
+
+    def test_add_and_double(self, app):
+        # acc = 0 + arg; acc *= 2
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.valid_inputs([1, 2], arg=5))
+        assert result.returned == 10
+
+    def test_dec_and_clear(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        # acc = arg; acc -= 1; clear; acc = arg
+        result = interp.run(app.entry, app.valid_inputs([1, 3, 5, 1], arg=9))
+        assert result.returned == 9
+
+    def test_check_with_magic_value(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.valid_inputs([1, 4], arg=13))
+        assert result.error and "magic" in result.error_message
+
+    def test_check_without_magic_value(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(app.entry, app.valid_inputs([1, 4], arg=12))
+        assert not result.error and result.returned == 12
+
+    def test_bad_checksum_rejected(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        result = interp.run(
+            app.entry, app.initial_inputs([1, 4], arg=13, checksum=12345)
+        )
+        assert result.returned == -1
+
+    def test_halt_stops_execution_early(self, app):
+        interp = Interpreter(app.program, app.fresh_natives())
+        # HALT at position 1: the DEC at position 2 never runs
+        result = interp.run(app.entry, app.valid_inputs([1, 0, 3], arg=7))
+        assert result.returned == 7
+
+    def test_checksum_of_helper_agrees(self, app):
+        ops = [2, 1, 4, 0, 0, 0]
+        inputs = app.valid_inputs(ops, arg=1)
+        natives = app.fresh_natives()
+        assert inputs["checksum"] == natives.lookup("vmcrc")(*ops)
+
+
+class TestVmSearch:
+    def test_higher_order_cracks_the_vm(self, app):
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER,
+            SearchConfig(max_runs=200, stop_on_first_error=True),
+        )
+        result = search.run(app.initial_inputs())
+        assert result.found_error
+        err = result.errors[0]
+        # the generated packet carries a valid checksum over its opcodes
+        ops = [err.inputs[f"op{i}"] for i in range(app.code_len)]
+        assert err.inputs["checksum"] == app.checksum_of(ops)
+        # and the opcode sequence really produces acc == 13 at a CHECK
+        interp = Interpreter(app.program, app.fresh_natives())
+        replay = interp.run(app.entry, dict(err.inputs))
+        assert replay.error
+
+    def test_no_divergences(self, app):
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.HIGHER_ORDER,
+            SearchConfig(max_runs=150, stop_on_first_error=True),
+        )
+        result = search.run(app.initial_inputs())
+        assert result.divergences == 0
+
+    def test_unsound_concretization_rejected_at_crc(self, app):
+        search = DirectedSearch.for_mode(
+            app.program, app.entry, app.fresh_natives(),
+            ConcretizationMode.UNSOUND, SearchConfig(max_runs=100),
+        )
+        result = search.run(app.initial_inputs())
+        assert not result.found_error
+
+    def test_random_fuzzing_hopeless(self, app):
+        fuzzer = RandomFuzzer(
+            app.program, app.entry, app.fresh_natives(),
+            ranges={f"op{i}": (0, 5) for i in range(app.code_len)},
+            default_range=(-100000, 100000),
+            seed=9,
+        )
+        result = fuzzer.run(500)
+        assert not result.found_error
+        # random checksums essentially never validate
+        assert result.coverage.ratio() < 0.3

@@ -1,0 +1,157 @@
+"""Property test: the validity engine's VALID verdicts are bulletproof.
+
+For random path constraints and random sample sets, whenever the checker
+answers VALID with strategy σ, then for EVERY function interpretation f
+consistent with the samples, executing σ (resolving its pending points
+against f itself) must yield inputs satisfying the constraint under f.
+
+This exercises the whole pipeline — candidate synthesis, UNSAT
+verification, offsets, nesting — against randomized adversaries, not just
+the built-in adversary family.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Model, TermManager, evaluate
+from repro.solver.validity import (
+    AppValue,
+    Sample,
+    ValidityChecker,
+    ValidityStatus,
+)
+
+
+def random_pc(tm, rng, x, y, h):
+    """A random constraint from paper-shaped templates."""
+    c1 = rng.randint(-20, 20)
+    c2 = rng.randint(-20, 20)
+    hx = tm.mk_app(h, [x])
+    hy = tm.mk_app(h, [y])
+    templates = [
+        lambda: tm.mk_eq(x, hy),
+        lambda: tm.mk_ne(x, hy),
+        lambda: tm.mk_and(tm.mk_eq(x, hy), tm.mk_eq(y, tm.mk_int(c1))),
+        lambda: tm.mk_eq(hx, hy),
+        lambda: tm.mk_eq(hx, tm.mk_add(hy, tm.mk_int(c1 % 3))),
+        lambda: tm.mk_gt(hx, tm.mk_int(c1)),
+        lambda: tm.mk_and(
+            tm.mk_gt(hx, tm.mk_int(c1)), tm.mk_eq(y, tm.mk_int(c2))
+        ),
+        lambda: tm.mk_or(
+            tm.mk_eq(x, hy), tm.mk_eq(x, tm.mk_int(c1))
+        ),
+        lambda: tm.mk_and(tm.mk_eq(x, hy), tm.mk_eq(y, hx)),
+        lambda: tm.mk_and(
+            tm.mk_eq(x, tm.mk_app(h, [tm.mk_app(h, [y])])),
+            tm.mk_eq(y, tm.mk_int(c1)),
+        ),
+    ]
+    return rng.choice(templates)()
+
+
+def random_samples(rng, h, count):
+    points = rng.sample(range(-15, 16), count)
+    return [Sample(h, (p,), rng.randint(-25, 25)) for p in points]
+
+
+def random_consistent_interpretation(rng, h, samples):
+    """A total interpretation of h agreeing with the recorded samples."""
+    table = {s.args: s.value for s in samples}
+
+    class _RandomFn(Model):
+        def apply(self, fn, args):  # type: ignore[override]
+            if args in table:
+                return table[args]
+            # deterministic pseudo-random extension
+            mix = hash((args, self.default)) % 97 - 48
+            return mix
+
+    return _RandomFn(default=rng.randint(0, 1000))
+
+
+def resolve_strategy_against(strategy, interp, h):
+    """Concretize σ querying the adversary for unsampled points."""
+    out = {}
+    for name, value in strategy.assignments.items():
+        out[name] = _resolve_value(value, interp)
+    return out
+
+
+def _resolve_value(value, interp):
+    if isinstance(value, AppValue):
+        args = tuple(
+            _resolve_value(a, interp) if isinstance(a, AppValue) else int(a)
+            for a in value.args
+        )
+        return interp.apply(value.fn, args) + value.offset
+    return int(value)
+
+
+@given(seed=st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=60, deadline=None)
+def test_valid_strategies_defeat_every_consistent_interpretation(seed):
+    rng = random.Random(seed)
+    tm = TermManager()
+    x, y = tm.mk_var("x"), tm.mk_var("y")
+    h = tm.mk_function("h", 1)
+    pc = random_pc(tm, rng, x, y, h)
+    samples = random_samples(rng, h, rng.randint(0, 4))
+
+    checker = ValidityChecker(tm)
+    verdict = checker.check(pc, [x, y], samples, defaults={"x": 1, "y": 2})
+    if verdict.status is not ValidityStatus.VALID:
+        return  # only VALID verdicts carry the universal guarantee
+
+    for _ in range(8):
+        adversary = random_consistent_interpretation(rng, h, samples)
+        inputs = resolve_strategy_against(verdict.strategy, adversary, h)
+        adversary.ints.update(inputs)
+        assert evaluate(pc, adversary) is True, (
+            f"seed {seed}: strategy {verdict.strategy} fails under an "
+            f"interpretation consistent with {list(map(str, samples))} "
+            f"on pc {pc}"
+        )
+
+
+@given(seed=st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=40, deadline=None)
+def test_invalid_verdicts_have_working_adversaries(seed):
+    """INVALID verdicts must come with an adversary that truly defeats a
+    sample of input vectors (full universality is checked by the engine's
+    own UNSAT query; here we spot-check the witness)."""
+    rng = random.Random(seed)
+    tm = TermManager()
+    x, y = tm.mk_var("x"), tm.mk_var("y")
+    h = tm.mk_function("h", 1)
+    pc = random_pc(tm, rng, x, y, h)
+    samples = random_samples(rng, h, rng.randint(0, 3))
+
+    checker = ValidityChecker(tm)
+    verdict = checker.check(pc, [x, y], samples)
+    if verdict.status is not ValidityStatus.INVALID or verdict.adversary is None:
+        return
+    adversary = verdict.adversary
+    is_offset = adversary.bools.get("__offset__", False)
+    for _ in range(20):
+        probe = Model(
+            ints={"x": rng.randint(-30, 30), "y": rng.randint(-30, 30)},
+            default=adversary.default,
+        )
+        probe.functions = adversary.functions
+        if is_offset:
+            sign = adversary.ints.get("__offset_sign__", 1)
+
+            class _Offset(Model):
+                def apply(self, fn, args):  # type: ignore[override]
+                    table = adversary.functions.get(fn, {})
+                    if args in table:
+                        return table[args]
+                    return adversary.default + sign * sum(args)
+
+            probe = _Offset(ints=dict(probe.ints))
+        assert evaluate(pc, probe) is not True, (
+            f"seed {seed}: adversary defeated by {probe.ints} on {pc}"
+        )
