@@ -4,17 +4,26 @@
 Run with::
 
     python benchmarks/run_experiments.py
+    python benchmarks/run_experiments.py --json bench.json
 
 This is the source of truth for EXPERIMENTS.md: each row pairs the paper's
 claim with what this reproduction measures, across all engines.
+
+With ``--json FILE`` a :class:`repro.obs.MetricsRegistry` is installed as
+the process default for the whole run, and the BENCH JSON written to FILE
+gains a ``metrics`` section (solver query counts, conflicts, concolic
+concretizations, search totals) aggregated across every experiment.
 """
 
+import argparse
+import json
 import time
 
 from repro.apps import build_lexer_program, build_table_lexer_program, codes_to_word
 from repro.apps.paper_programs import PAPER_EXAMPLES, make_paper_natives
 from repro.baselines import RandomFuzzer, StaticTestGenerator
 from repro.core import SampleStore
+from repro.obs import MetricsRegistry, use_registry
 from repro.search import DirectedSearch, SearchConfig
 from repro.solver import TermManager
 from repro.symbolic import ConcolicEngine, ConcretizationMode
@@ -208,13 +217,40 @@ def staged_apps_table():
     print()
 
 
-def main():
+def report():
     print("# Experiment report (auto-generated by benchmarks/run_experiments.py)")
     print()
     paper_examples_table()
     lexer_table()
     learning_table()
     staged_apps_table()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write BENCH JSON (with an aggregated metrics section) to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.json is None:
+        report()
+        return
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    with use_registry(registry):
+        report()
+    payload = {
+        "generator": "benchmarks/run_experiments.py",
+        "elapsed_seconds": round(time.perf_counter() - start, 3),
+        "metrics": registry.snapshot(),
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"BENCH JSON with metrics section written to {args.json}")
 
 
 if __name__ == "__main__":

@@ -4,8 +4,21 @@ Usage::
 
     python -m repro run program.minic --entry main --seed x=1,y=2
     python -m repro run program.minic --mode unsound --max-runs 50
+    python -m repro run program.minic --trace events.jsonl --profile
     python -m repro fuzz program.minic --runs 500 --range -100:100
     python -m repro modes program.minic --seed x=1,y=2   # compare engines
+    python -m repro stats program.minic --seed x=1,y=2   # observability report
+
+Observability flags (``run`` and ``stats``):
+
+- ``--trace FILE`` streams a JSONL journal of session events
+  (``test_generated``, ``branch_flipped``, ``solver_query``,
+  ``sample_recorded``, ``divergence_detected``, …; schema in
+  docs/OBSERVABILITY.md) to ``FILE``;
+- ``--profile`` prints the span profile (where wall time went) and the
+  metrics registry (solver query counts, conflicts, concretizations)
+  after the search;
+- ``stats`` is ``run`` with both always on, rendered as one report.
 
 Native (unknown) functions available to CLI-tested programs are the hash
 zoo of :mod:`repro.apps.hashes` (``hash``, ``djb2``, ``fnv1a``, ``sdbm``,
@@ -24,6 +37,13 @@ from .apps.hashes import standard_registry
 from .baselines import RandomFuzzer
 from .errors import ReproError
 from .lang import NativeRegistry, parse_program
+from .obs import (
+    MetricsRegistry,
+    Observability,
+    RunJournal,
+    Tracer,
+    set_default_registry,
+)
 from .search import DirectedSearch, SearchConfig
 from .search.corpus import TestCorpus
 from .symbolic import ConcretizationMode
@@ -72,19 +92,71 @@ def _seed_for(program, entry: str, seed: Dict[str, int]) -> Dict[str, int]:
     return {p: seed.get(p, 0) for p in params}
 
 
+class _CliObservability:
+    """The journal/registry/obs bundle requested by the CLI flags.
+
+    When collection is on, a fresh :class:`MetricsRegistry` is installed
+    as the process default (so the solver layers record into it) for the
+    lifetime of the ``with`` block; the previous default is restored and
+    the journal closed on exit.
+    """
+
+    def __init__(self, args, force: bool = False) -> None:
+        trace = getattr(args, "trace", None)
+        profile = force or getattr(args, "profile", False)
+        self.journal = RunJournal(trace) if trace else None
+        self.registry: Optional[MetricsRegistry] = None
+        self.obs: Optional[Observability] = None
+        self._old_registry: Optional[MetricsRegistry] = None
+        if profile or self.journal is not None:
+            self.registry = MetricsRegistry()
+            self.obs = Observability(
+                tracer=Tracer(journal=self.journal),
+                metrics=self.registry,
+                journal=self.journal,
+            )
+
+    def __enter__(self) -> "_CliObservability":
+        if self.registry is not None:
+            self._old_registry = set_default_registry(self.registry)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.registry is not None:
+            set_default_registry(self._old_registry)
+        if self.journal is not None:
+            self.journal.close()
+
+
+def _print_profile(search, registry) -> None:
+    print()
+    print("== span profile ==")
+    print(search.obs.tracer.render_table())
+    print()
+    print("== metrics ==")
+    print(registry.render_table())
+
+
 def cmd_run(args) -> int:
     program = _load(args.program)
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
     mode = ConcretizationMode(args.mode)
-    search = DirectedSearch.for_mode(
-        program, entry, _natives(), mode,
-        SearchConfig(max_runs=args.max_runs, frontier=args.frontier),
-    )
-    result = search.run(seed)
+    with _CliObservability(args) as cli_obs:
+        search = DirectedSearch.for_mode(
+            program, entry, _natives(), mode,
+            SearchConfig(max_runs=args.max_runs, frontier=args.frontier),
+            obs=cli_obs.obs,
+        )
+        result = search.run(seed)
     print(f"[{mode.value}] {result.summary()}")
     for error in result.errors:
         print(f"  {error}")
+    if cli_obs.journal is not None:
+        print(
+            f"  trace: {cli_obs.journal.events_written} events written "
+            f"to {args.trace}"
+        )
     if args.corpus:
         corpus = TestCorpus()
         corpus.add_from_search(result)
@@ -100,7 +172,37 @@ def cmd_run(args) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"  report written to {args.report}")
+    if args.profile and cli_obs.registry is not None:
+        _print_profile(search, cli_obs.registry)
     return 1 if (args.expect_error and not result.found_error) else 0
+
+
+def cmd_stats(args) -> int:
+    """Run a search with full observability and render the stats report."""
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    seed = _seed_for(program, entry, _parse_seed(args.seed))
+    mode = ConcretizationMode(args.mode)
+    with _CliObservability(args, force=True) as cli_obs:
+        search = DirectedSearch.for_mode(
+            program, entry, _natives(), mode,
+            SearchConfig(max_runs=args.max_runs),
+            obs=cli_obs.obs,
+        )
+        result = search.run(seed)
+    print(f"[{mode.value}] {result.summary()}")
+    print(
+        f"  wall time: {result.time_total:.3f}s "
+        f"(executing {result.time_executing:.3f}s, "
+        f"generating {result.time_generating:.3f}s)"
+    )
+    if cli_obs.journal is not None:
+        print(
+            f"  trace: {cli_obs.journal.events_written} events written "
+            f"to {args.trace}"
+        )
+    _print_profile(search, cli_obs.registry)
+    return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -178,7 +280,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero when no error is found (for CI scripts)",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream a JSONL journal of session events to FILE",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print span profile and metrics tables after the search",
+    )
     run.set_defaults(fn=cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="directed search with a full observability report"
+    )
+    stats.add_argument("program")
+    stats.add_argument("--entry", default=None)
+    stats.add_argument("--seed", default="")
+    stats.add_argument(
+        "--mode",
+        default="higher_order",
+        choices=[m.value for m in ConcretizationMode],
+    )
+    stats.add_argument("--max-runs", type=int, default=100)
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also stream the JSONL journal to FILE",
+    )
+    stats.set_defaults(fn=cmd_stats)
 
     fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
     fuzz.add_argument("program")

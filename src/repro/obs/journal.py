@@ -1,0 +1,153 @@
+"""Structured run journals: one JSON object per line, streamed to a file.
+
+A :class:`RunJournal` records the events of a testing session —
+``test_generated``, ``branch_flipped``, ``solver_query``,
+``sample_recorded``, ``divergence_detected``, … — as JSONL so post-hoc
+analysis is one ``json.loads`` per line away.  Every event carries a
+monotonically increasing ``seq`` and a wall-clock ``ts``; all remaining
+fields are event-specific (see docs/OBSERVABILITY.md for the schema).
+
+Deeply nested layers (the SMT solver, the validity engine) do not take a
+journal parameter through every constructor; instead they emit to the
+*current journal*, a process-wide slot that is the no-op
+:data:`NULL_JOURNAL` unless a session installs its own (the directed
+search does this for the duration of :meth:`DirectedSearch.run`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, TextIO, Union
+
+__all__ = [
+    "RunJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "current_journal",
+    "set_current_journal",
+    "install_journal",
+]
+
+
+class RunJournal:
+    """Streams structured events to a JSONL file (or file-like object).
+
+    Usage::
+
+        with RunJournal("events.jsonl") as journal:
+            journal.emit("search_started", entry="main", max_runs=100)
+
+    Values that are not JSON-serializable are stringified rather than
+    raised on — a journal must never take the session down.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        target: Union[str, TextIO],
+        autoflush: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._autoflush = autoflush
+        self._clock = clock
+        self._seq = 0
+        self._closed = False
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields: object) -> Optional[Dict[str, object]]:
+        """Write one event; returns the event dict (None once closed)."""
+        if self._closed:
+            return None
+        event: Dict[str, object] = {
+            "seq": self._seq,
+            "ts": round(self._clock(), 6),
+            "kind": kind,
+        }
+        event.update(fields)
+        self._handle.write(json.dumps(event, default=str) + "\n")
+        if self._autoflush:
+            self._handle.flush()
+        self._seq += 1
+        return event
+
+    @property
+    def events_written(self) -> int:
+        return self._seq
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullJournal:
+    """Disabled journal: :meth:`emit` is a no-op."""
+
+    enabled = False
+    events_written = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        return None
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: the process-wide disabled journal (the default current journal)
+NULL_JOURNAL = NullJournal()
+
+_current: Union[RunJournal, NullJournal] = NULL_JOURNAL
+
+
+def current_journal() -> Union[RunJournal, NullJournal]:
+    """The journal deeply nested layers (solvers) emit to."""
+    return _current
+
+
+def set_current_journal(
+    journal: Optional[Union[RunJournal, NullJournal]]
+) -> Union[RunJournal, NullJournal]:
+    """Install ``journal`` as current (None restores the null journal)."""
+    global _current
+    old = _current
+    _current = journal if journal is not None else NULL_JOURNAL
+    return old
+
+
+@contextmanager
+def install_journal(
+    journal: Union[RunJournal, NullJournal]
+) -> Iterator[Union[RunJournal, NullJournal]]:
+    """Scoped :func:`set_current_journal`."""
+    old = set_current_journal(journal)
+    try:
+        yield journal
+    finally:
+        set_current_journal(old)

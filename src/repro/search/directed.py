@@ -21,6 +21,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import ReproError, ResourceLimitError
 from ..lang.ast import Program
 from ..lang.natives import NativeRegistry
+from ..obs import Observability
+from ..obs.journal import set_current_journal
+from ..obs.metrics import set_default_registry
 from ..solver.terms import TermManager
 from ..symbolic.concolic import (
     ConcolicEngine,
@@ -174,12 +177,16 @@ class DirectedSearch:
         backend: TestGenBackend,
         store: Optional[SampleStore] = None,
         config: Optional[SearchConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.engine = engine
         self.entry = entry
         self.backend = backend
         self.store = store if store is not None else SampleStore()
         self.config = config if config is not None else SearchConfig()
+        #: tracer/metrics/journal bundle; the default is effectively free
+        #: (real tracer for the time_* fields, no-op metrics and journal)
+        self.obs = obs if obs is not None else Observability()
         # late-bind the probe runner for multi-step backends
         if getattr(backend, "probe_runner", "absent") is None:
             backend.probe_runner = self._probe_runner  # type: ignore[attr-defined]
@@ -197,6 +204,7 @@ class DirectedSearch:
         manager: Optional[TermManager] = None,
         store: Optional[SampleStore] = None,
         use_antecedent: bool = True,
+        obs: Optional[Observability] = None,
     ) -> "DirectedSearch":
         """Build a search with the standard backend for ``mode``."""
         from ..core.hotg import HigherOrderBackend
@@ -215,17 +223,63 @@ class DirectedSearch:
             )
         else:
             backend = QuantifierFreeBackend(tm)
-        return cls(engine, entry, backend, store, config)
+        return cls(engine, entry, backend, store, config, obs)
 
     # -- the search loop ------------------------------------------------------------
 
     def run(self, seed_inputs: Dict[str, int]) -> SearchResult:
         """Run the directed search from a seed input vector."""
-        import time as _time
-
-        t_start = _time.perf_counter()
+        obs = self.obs
         result = SearchResult(coverage=BranchCoverage(self.engine.program))
         self._result = result
+        obs.emit(
+            "search_started",
+            entry=self.entry,
+            seed=dict(seed_inputs),
+            mode=self.engine.mode.value,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            max_runs=self.config.max_runs,
+        )
+        # deep layers (SMT checks, validity verdicts) emit to the current
+        # journal and record into the default registry for the duration of
+        # the session
+        previous_journal = set_current_journal(obs.journal)
+        previous_registry = None
+        if obs.metrics.enabled:
+            previous_registry = set_default_registry(obs.metrics)
+        try:
+            with obs.tracer.span("search") as root:
+                self._search_loop(seed_inputs, result)
+        finally:
+            set_current_journal(previous_journal)
+            if obs.metrics.enabled:
+                set_default_registry(previous_registry)
+        result.time_total = root.elapsed
+        metrics = obs.metrics
+        if metrics.enabled:
+            metrics.counter("search.sessions").inc()
+            metrics.counter("search.runs").inc(result.runs)
+            metrics.counter("search.solver_calls").inc(result.solver_calls)
+            metrics.counter("search.divergences").inc(result.divergences)
+            metrics.counter("search.errors").inc(len(result.errors))
+            metrics.histogram("search.session_seconds").observe(result.time_total)
+        obs.emit(
+            "search_finished",
+            runs=result.runs,
+            paths=result.distinct_paths,
+            errors=len(result.errors),
+            divergences=result.divergences,
+            solver_calls=result.solver_calls,
+            coverage=round(result.coverage.ratio(), 4)
+            if result.coverage
+            else None,
+            seconds=round(result.time_total, 6),
+        )
+        return result
+
+    def _search_loop(self, seed_inputs: Dict[str, int], result: SearchResult) -> None:
+        """The generational expansion loop (timed under the "search" span)."""
+        obs = self.obs
         seen_paths: Set[Tuple[Tuple[int, bool], ...]] = set()
         seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
 
@@ -264,12 +318,20 @@ class DirectedSearch:
                     input_vars=dict(record.result.input_vars),
                     defaults=dict(record.result.inputs),
                 )
-                t_gen = _time.perf_counter()
-                generated = self.backend.generate(request)
-                result.time_generating += _time.perf_counter() - t_gen
+                with obs.tracer.span("generate") as gen_span:
+                    generated = self.backend.generate(request)
+                result.time_generating += gen_span.elapsed
                 result.solver_calls += 1
                 if generated is None:
                     continue
+                obs.emit(
+                    "test_generated",
+                    inputs=dict(generated.inputs),
+                    parent=record.index,
+                    flip=i,
+                    intermediate_runs=generated.intermediate_runs,
+                    note=generated.note,
+                )
                 key = self._input_key(generated.inputs)
                 if self.config.dedupe_inputs and key in seen_inputs:
                     continue
@@ -280,18 +342,31 @@ class DirectedSearch:
                 child.intermediate_runs = generated.intermediate_runs
                 child.note = generated.note
                 child.diverged = self._diverged(record.result, i, child.result)
+                obs.emit(
+                    "branch_flipped",
+                    parent=record.index,
+                    child=child.index,
+                    flip=i,
+                    branch_id=conditions[i].branch_id,
+                    line=conditions[i].line,
+                    diverged=child.diverged,
+                )
                 if child.diverged:
                     result.divergences += 1
+                    obs.emit(
+                        "divergence_detected",
+                        run=child.index,
+                        parent=record.index,
+                        flip=i,
+                        inputs=dict(child.result.inputs),
+                    )
                 if child.result.path_key not in seen_paths:
                     seen_paths.add(child.result.path_key)
                     frontier.append((child, i + 1))
                 if result.errors and self.config.stop_on_first_error:
                     result.distinct_paths = len(seen_paths)
-                    result.time_total = _time.perf_counter() - t_start
-                    return result
+                    return
         result.distinct_paths = len(seen_paths)
-        result.time_total = _time.perf_counter() - t_start
-        return result
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -306,12 +381,11 @@ class DirectedSearch:
         parent: Optional[int],
         flipped: Optional[int],
     ) -> ExecutionRecord:
-        import time as _time
-
-        t_exec = _time.perf_counter()
-        run = self.engine.run(self.entry, inputs)
-        result.time_executing += _time.perf_counter() - t_exec
-        self.store.merge_from_run(run)
+        obs = self.obs
+        with obs.tracer.span("execute") as exec_span:
+            run = self.engine.run(self.entry, inputs)
+        result.time_executing += exec_span.elapsed
+        new_samples = self.store.merge_from_run(run)
         record = ExecutionRecord(
             index=len(result.executions),
             result=run,
@@ -322,6 +396,16 @@ class DirectedSearch:
         result.runs += 1
         if result.coverage is not None:
             record.new_coverage = result.coverage.record(run.covered)
+        if new_samples and obs.journal.enabled:
+            # the store appends in observation order: the last N are new
+            for sample in self.store.samples()[-new_samples:]:
+                obs.emit(
+                    "sample_recorded",
+                    run=record.index,
+                    fn=sample.fn.name,
+                    args=list(sample.args),
+                    value=sample.value,
+                )
         if run.error:
             result.errors.append(
                 ErrorReport(
@@ -330,6 +414,13 @@ class DirectedSearch:
                     line=run.error_line,
                     run_index=record.index,
                 )
+            )
+            obs.emit(
+                "error_found",
+                run=record.index,
+                inputs=dict(inputs),
+                message=run.error_message,
+                line=run.error_line,
             )
         return record
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SolverError
+from ..obs.metrics import default_registry
 from .terms import Kind, Term
 
 __all__ = ["CongruenceClosure", "EufResult"]
@@ -63,6 +64,9 @@ class CongruenceClosure:
         self._registered: Set[Term] = set()
         self._pending_apps: List[Term] = []
         self._conflict: Optional[List[Tuple[Term, Term, bool]]] = None
+        #: union-find merges performed (congruence-induced ones included)
+        self.merges = 0
+        self._reported_merges = 0
 
     # -- registration ------------------------------------------------------------
 
@@ -152,6 +156,14 @@ class CongruenceClosure:
 
     def check(self) -> EufResult:
         """Report the current consistency status."""
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("euf.checks").inc()
+            registry.counter("euf.merges").inc(self.merges - self._reported_merges)
+            self._reported_merges = self.merges
+            registry.counter(
+                "euf.sat" if self._conflict is None else "euf.unsat"
+            ).inc()
         if self._conflict is not None:
             return EufResult(sat=False, conflict=list(self._conflict))
         return EufResult(sat=True)
@@ -162,6 +174,7 @@ class CongruenceClosure:
         ra, rb = self._find(a), self._find(b)
         if ra is rb:
             return
+        self.merges += 1
         # record proof edge between the original terms
         self._proof_add(a, b, reason)
         # union by rank

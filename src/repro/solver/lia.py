@@ -28,7 +28,10 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from time import perf_counter
+
 from ..errors import ResourceLimitError
+from ..obs.metrics import default_registry
 from .simplex import Simplex
 
 __all__ = ["LiaSolver", "LiaResult", "LinearConstraint"]
@@ -172,7 +175,26 @@ class LiaSolver:
     # -- solving ------------------------------------------------------------------
 
     def check(self) -> LiaResult:
-        """Decide the conjunction; returns model or conflict core."""
+        """Decide the conjunction; returns model or conflict core.
+
+        Query counts, verdicts, branch-and-bound effort, and wall time go
+        to the default metrics registry (no-op unless a session installed
+        a live one).
+        """
+        registry = default_registry()
+        if not registry.enabled:
+            return self._check()
+        start = perf_counter()
+        result = self._check()
+        registry.counter("lia.checks").inc()
+        registry.counter("lia.sat" if result.sat else "lia.unsat").inc()
+        registry.counter("lia.branches").inc(result.branches)
+        if self.presolve_hit:
+            registry.counter("lia.presolve_conflicts").inc()
+        registry.histogram("lia.check_seconds").observe(perf_counter() - start)
+        return result
+
+    def _check(self) -> LiaResult:
         self.presolve_hit = False
         if self._trivially_unsat is not None:
             return LiaResult(sat=False, core=list(self._trivially_unsat))

@@ -18,9 +18,11 @@ literal ``v`` means "v is true" and ``-v`` means "v is false".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ResourceLimitError, SolverError
+from ..obs.metrics import default_registry
 
 __all__ = ["SatSolver", "SatResult", "SatStats"]
 
@@ -35,6 +37,21 @@ class SatStats:
     learned_clauses: int = 0
     restarts: int = 0
     max_decision_level: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict view, the shape ``repro stats`` renders."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned_clauses": self.learned_clauses,
+            "restarts": self.restarts,
+            "max_decision_level": self.max_decision_level,
+        }
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.to_dict().items())
+        return f"SatStats({inner})"
 
 
 @dataclass
@@ -321,7 +338,33 @@ class SatSolver:
     # -- main search --------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Search for a model under the given assumption literals."""
+        """Search for a model under the given assumption literals.
+
+        Work deltas (conflicts, decisions, propagations) and wall time of
+        each query are recorded into the default metrics registry — only
+        here at the query boundary, never inside the inner loops.
+        """
+        registry = default_registry()
+        if not registry.enabled:
+            return self._solve(assumptions)
+        start = perf_counter()
+        before = (
+            self.stats.conflicts,
+            self.stats.decisions,
+            self.stats.propagations,
+        )
+        result = self._solve(assumptions)
+        registry.counter("sat.queries").inc()
+        registry.counter("sat.sat" if result.sat else "sat.unsat").inc()
+        registry.counter("sat.conflicts").inc(self.stats.conflicts - before[0])
+        registry.counter("sat.decisions").inc(self.stats.decisions - before[1])
+        registry.counter("sat.propagations").inc(
+            self.stats.propagations - before[2]
+        )
+        registry.histogram("sat.solve_seconds").observe(perf_counter() - start)
+        return result
+
+    def _solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         if not self._ok:
             return SatResult(sat=False)
         self._backtrack(0)

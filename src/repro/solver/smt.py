@@ -28,7 +28,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from time import perf_counter
+
 from ..errors import ResourceLimitError, SolverError
+from ..obs.journal import current_journal
+from ..obs.metrics import default_registry
 from .cnf import CnfConverter
 from .lia import LiaSolver
 from .sat import SatSolver
@@ -234,7 +238,35 @@ class Solver:
     # -- solving -----------------------------------------------------------------
 
     def check(self, *extra: Term) -> CheckResult:
-        """Decide the conjunction of all assertions (plus ``extra``)."""
+        """Decide the conjunction of all assertions (plus ``extra``).
+
+        Each query's verdict, lazy-loop iteration count, and wall time are
+        recorded into the default metrics registry and emitted as a
+        ``solver_query`` event on the current journal (both no-ops unless a
+        session installed live sinks).
+        """
+        registry = default_registry()
+        journal = current_journal()
+        if not registry.enabled and not journal.enabled:
+            return self._check(extra)
+        start = perf_counter()
+        result = self._check(extra)
+        elapsed = perf_counter() - start
+        registry.counter("smt.checks").inc()
+        registry.counter("smt.sat" if result.sat else "smt.unsat").inc()
+        registry.counter("smt.lazy_iterations").inc(result.iterations)
+        registry.histogram("smt.check_seconds").observe(elapsed)
+        journal.emit(
+            "solver_query",
+            solver="smt",
+            sat=result.sat,
+            iterations=result.iterations,
+            assertions=len(self._assertions) + len(extra),
+            seconds=round(elapsed, 6),
+        )
+        return result
+
+    def _check(self, extra: Tuple[Term, ...]) -> CheckResult:
         tm = self.tm
         goal = list(self._assertions) + list(extra)
         if not goal:

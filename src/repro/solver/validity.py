@@ -55,7 +55,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from time import perf_counter
+
 from ..errors import ResourceLimitError, SolverError, StrategyError
+from ..obs.journal import current_journal
+from ..obs.metrics import default_registry
 from .evalmodel import evaluate
 from .smt import CheckResult, Model, Solver
 from .terms import FunctionSymbol, Kind, Sort, Term, TermManager
@@ -290,7 +294,39 @@ class ValidityChecker:
         ``defaults`` optionally supplies preferred values for inputs that
         the constraint leaves unconstrained (dynamic test generation reuses
         the previous run's concrete values, per the paper's Section 2).
+
+        Each verdict (status, candidates tried, wall time) is recorded
+        into the default metrics registry and emitted as a
+        ``validity_check`` event on the current journal.
         """
+        registry = default_registry()
+        journal = current_journal()
+        if not registry.enabled and not journal.enabled:
+            return self._check(pc, input_vars, samples, defaults)
+        start = perf_counter()
+        result = self._check(pc, input_vars, samples, defaults)
+        elapsed = perf_counter() - start
+        registry.counter("validity.checks").inc()
+        registry.counter(f"validity.{result.status.value}").inc()
+        registry.counter("validity.candidates_tried").inc(result.candidates_tried)
+        registry.histogram("validity.check_seconds").observe(elapsed)
+        journal.emit(
+            "validity_check",
+            status=result.status.value,
+            candidates_tried=result.candidates_tried,
+            note=result.note,
+            strategy=str(result.strategy) if result.strategy else None,
+            seconds=round(elapsed, 6),
+        )
+        return result
+
+    def _check(
+        self,
+        pc: Term,
+        input_vars: Sequence[Term],
+        samples: Sequence[Sample] = (),
+        defaults: Optional[Dict[str, int]] = None,
+    ) -> ValidityResult:
         tm = self.tm
         input_vars = list(input_vars)
         samples = list(samples) if self.use_antecedent else []

@@ -68,6 +68,7 @@ from ..lang.ast import (
 )
 from ..lang.interp import DivisionByZero, c_div, c_mod, truthy
 from ..lang.natives import NativeRegistry
+from ..obs.metrics import default_registry
 from ..solver.terms import FunctionSymbol, Kind, Sort, Term, TermManager
 from ..solver.validity import Sample
 
@@ -272,6 +273,23 @@ class ConcolicEngine:
             result.error = True
             result.error_message = err.message
             result.error_line = err.line
+        registry = default_registry()
+        if registry.enabled:
+            # per-run imprecision accounting, recorded once at the run
+            # boundary so the per-step hot path stays untouched
+            registry.counter("concolic.runs").inc()
+            registry.counter("concolic.steps").inc(result.steps)
+            registry.counter(
+                f"concolic.concretizations.{self.mode.value}"
+            ).inc(result.concretizations)
+            registry.counter("concolic.uf_applications").inc(
+                result.uf_applications
+            )
+            registry.counter("concolic.samples_recorded").inc(
+                len(result.samples)
+            )
+            if result.error:
+                registry.counter("concolic.errors").inc()
         return result
 
     def function_symbol(self, name: str, arity: int) -> FunctionSymbol:
