@@ -26,7 +26,18 @@ from repro.core import SampleStore
 from repro.obs import MetricsRegistry, use_registry
 from repro.search import DirectedSearch, SearchConfig
 from repro.solver import TermManager
+from repro.solver.cache import QueryCache, use_cache
 from repro.symbolic import ConcolicEngine, ConcretizationMode
+
+#: worker threads for speculative flip planning (set by --jobs; the
+#: generated suites are identical at any value)
+JOBS = 1
+
+
+def _config(**kwargs):
+    kwargs.setdefault("jobs", JOBS)
+    return SearchConfig(**kwargs)
+
 
 MODES = [
     ("unsound", ConcretizationMode.UNSOUND),
@@ -54,12 +65,12 @@ def paper_examples_table():
         for _label, mode in MODES:
             search = DirectedSearch.for_mode(
                 ex.program(), ex.entry, make_paper_natives(), mode,
-                SearchConfig(max_runs=40),
+                _config(max_runs=40),
             )
             cells.append(cell(search.run(dict(ex.initial_inputs))))
         static = StaticTestGenerator(
             ex.program(), ex.entry, make_paper_natives(),
-            SearchConfig(max_runs=40),
+            _config(max_runs=40),
         ).run(dict(ex.initial_inputs))
         cells.append(cell(static))
         print(f"| {name} | {ex.section} | " + " | ".join(cells) + " |")
@@ -85,7 +96,7 @@ def lexer_table():
         start = time.perf_counter()
         res = DirectedSearch.for_mode(
             app.program, app.entry, app.fresh_natives(), mode,
-            SearchConfig(max_runs=120),
+            _config(max_runs=120),
         ).run(app.initial_inputs("zzz", 0))
         note = ""
         if res.errors:
@@ -109,7 +120,7 @@ def lexer_table():
     table_app = build_table_lexer_program()
     res = DirectedSearch.for_mode(
         table_app.program, table_app.entry, table_app.fresh_natives(),
-        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+        ConcretizationMode.HIGHER_ORDER, _config(max_runs=60),
     ).run(table_app.initial_inputs("zzz", 0))
     print(
         f"higher-order on the hash-indexed symbol table: bug found = "
@@ -129,7 +140,7 @@ def learning_table():
     start = time.perf_counter()
     cold = DirectedSearch.for_mode(
         app.program, app.entry, app.fresh_natives(),
-        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+        ConcretizationMode.HIGHER_ORDER, _config(max_runs=120),
     ).run(app.initial_inputs("zzz", 0))
     cold_t = time.perf_counter() - start
     # warm
@@ -143,7 +154,7 @@ def learning_table():
     start = time.perf_counter()
     warm = DirectedSearch.for_mode(
         app.program, app.entry, app.fresh_natives(),
-        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+        ConcretizationMode.HIGHER_ORDER, _config(max_runs=120),
         manager=tm, store=store,
     ).run(app.initial_inputs("zzz", 0))
     warm_t = time.perf_counter() - start
@@ -179,7 +190,7 @@ def staged_apps_table():
             start = time.perf_counter()
             res = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(), mode,
-                SearchConfig(max_runs=max_runs, stop_on_first_error=stop_first),
+                _config(max_runs=max_runs, stop_on_first_error=stop_first),
             ).run(dict(seed))
             rows.append((
                 name, label, len(res.errors), res.runs,
@@ -234,16 +245,36 @@ def main(argv=None):
         metavar="FILE",
         help="write BENCH JSON (with an aggregated metrics section) to FILE",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads planning branch flips (same results at any value)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the normalized query cache (cold-solver baseline)",
+    )
     args = parser.parse_args(argv)
+    global JOBS
+    JOBS = args.jobs
+    cache = None if args.no_cache else QueryCache()
     if args.json is None:
-        report()
+        with use_cache(cache):
+            report()
         return
     registry = MetricsRegistry()
     start = time.perf_counter()
-    with use_registry(registry):
+    with use_registry(registry), use_cache(cache):
         report()
     payload = {
         "generator": "benchmarks/run_experiments.py",
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+        "cache_hit_rate": round(cache.hit_rate, 4) if cache is not None else 0.0,
         "elapsed_seconds": round(time.perf_counter() - start, 3),
         "metrics": registry.snapshot(),
     }

@@ -5,9 +5,11 @@ Usage::
     python -m repro run program.minic --entry main --seed x=1,y=2
     python -m repro run program.minic --mode unsound --max-runs 50
     python -m repro run program.minic --trace events.jsonl --profile
+    python -m repro run program.minic --jobs 4            # speculative planning
     python -m repro fuzz program.minic --runs 500 --range -100:100
     python -m repro modes program.minic --seed x=1,y=2   # compare engines
     python -m repro stats program.minic --seed x=1,y=2   # observability report
+    python -m repro bench program.minic --jobs 2          # perf + suite digest
 
 Observability flags (``run`` and ``stats``):
 
@@ -145,7 +147,11 @@ def cmd_run(args) -> int:
     with _CliObservability(args) as cli_obs:
         search = DirectedSearch.for_mode(
             program, entry, _natives(), mode,
-            SearchConfig(max_runs=args.max_runs, frontier=args.frontier),
+            SearchConfig(
+                max_runs=args.max_runs,
+                frontier=args.frontier,
+                jobs=args.jobs,
+            ),
             obs=cli_obs.obs,
         )
         result = search.run(seed)
@@ -202,6 +208,109 @@ def cmd_stats(args) -> int:
             f"to {args.trace}"
         )
     _print_profile(search, cli_obs.registry)
+    return 0
+
+
+def suite_digest(result) -> str:
+    """SHA-256 over the search's full genealogy of executed tests.
+
+    Covers inputs, parentage, flipped condition, divergence flag, and the
+    backend's note per execution — two searches printing the same digest
+    generated byte-identical suites.  This is the determinism gate CI runs
+    across ``--jobs`` values.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for record in result.executions:
+        digest.update(
+            repr(
+                (
+                    record.index,
+                    tuple(sorted(record.result.inputs.items())),
+                    record.parent,
+                    record.flipped_index,
+                    record.diverged,
+                    record.note,
+                )
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def cmd_bench(args) -> int:
+    """Timed search with perf counters and the deterministic suite digest."""
+    import json as jsonlib
+
+    from .solver.cache import QueryCache, use_cache
+
+    program = _load(args.program)
+    entry = _default_entry(program, args.entry)
+    seed = _seed_for(program, entry, _parse_seed(args.seed))
+    mode = ConcretizationMode(args.mode)
+    cache = None if args.no_cache else QueryCache()
+    registry = MetricsRegistry()
+    obs = Observability(tracer=Tracer(), metrics=registry)
+    with use_cache(cache):
+        search = DirectedSearch.for_mode(
+            program, entry, _natives(), mode,
+            SearchConfig(
+                max_runs=args.max_runs,
+                frontier=args.frontier,
+                jobs=args.jobs,
+            ),
+            obs=obs,
+        )
+        result = search.run(seed)
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    payload = {
+        "program": os.path.basename(args.program),
+        "mode": mode.value,
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "runs": result.runs,
+        "paths": result.distinct_paths,
+        "errors": len(result.errors),
+        "divergences": result.divergences,
+        "coverage": round(result.coverage.ratio(), 4) if result.coverage else None,
+        "solver_calls": result.solver_calls,
+        "wall_seconds": round(result.time_total, 6),
+        "generate_seconds": round(result.time_generating, 6),
+        "execute_seconds": round(result.time_executing, 6),
+        "smt_checks": counters.get("smt.checks", 0),
+        "smt_check_seconds": round(
+            histograms.get("smt.check_seconds", {}).get("total", 0.0), 6
+        ),
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+        "cache_hit_rate": round(cache.hit_rate, 4) if cache is not None else 0.0,
+        "session_pushes": counters.get("solver.session.push", 0),
+        "session_pops": counters.get("solver.session.pop", 0),
+        "suite_digest": suite_digest(result),
+    }
+    print(f"[{mode.value}] {result.summary()}")
+    print(
+        f"  wall={payload['wall_seconds']:.3f}s "
+        f"solver={payload['smt_check_seconds']:.3f}s "
+        f"({payload['smt_checks']} checks) "
+        f"execute={payload['execute_seconds']:.3f}s"
+    )
+    print(
+        f"  cache: {payload['cache_hits']} hits / "
+        f"{payload['cache_misses']} misses "
+        f"(rate {payload['cache_hit_rate']:.1%}); "
+        f"session: {payload['session_pushes']} pushes / "
+        f"{payload['session_pops']} pops"
+    )
+    print(f"  suite digest: {payload['suite_digest']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            jsonlib.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  bench payload written to {args.json}")
     return 0
 
 
@@ -273,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--frontier", default="fifo", choices=["fifo", "coverage"]
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads planning branch flips (same suite at any value)",
+    )
     run.add_argument("--corpus", default=None, help="save generated tests to JSON")
     run.add_argument("--report", default=None, help="write a markdown session report")
     run.add_argument(
@@ -312,6 +427,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stream the JSONL journal to FILE",
     )
     stats.set_defaults(fn=cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="timed search with perf counters and a suite digest"
+    )
+    bench.add_argument("program")
+    bench.add_argument("--entry", default=None)
+    bench.add_argument("--seed", default="")
+    bench.add_argument(
+        "--mode",
+        default="higher_order",
+        choices=[m.value for m in ConcretizationMode],
+    )
+    bench.add_argument("--max-runs", type=int, default=100)
+    bench.add_argument(
+        "--frontier", default="fifo", choices=["fifo", "coverage"]
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads planning branch flips (same suite at any value)",
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the normalized query cache (cold-solver baseline)",
+    )
+    bench.add_argument(
+        "--json", default=None, metavar="FILE", help="write the bench payload as JSON"
+    )
+    bench.set_defaults(fn=cmd_bench)
 
     fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
     fuzz.add_argument("program")

@@ -29,7 +29,33 @@ from ..search.request import GeneratedTest, GenerationRequest
 from .post import alternate_constraint, build_post
 from .samples import SampleStore
 
-__all__ = ["HigherOrderBackend", "MultiStepDriver", "ProbeOutcome"]
+__all__ = ["HigherOrderBackend", "MultiStepDriver", "ProbeOutcome", "plan_validity"]
+
+
+def plan_validity(
+    tm: TermManager,
+    request: GenerationRequest,
+    samples: Sequence[Sample],
+    use_antecedent: bool = True,
+    max_candidates: int = 24,
+) -> ValidityResult:
+    """The pure planning half of higher-order generation.
+
+    Deterministic in (the structure of) ``request`` and ``samples``: no
+    probe runs, no store access, no shared mutable state — which is what
+    lets the parallel frontier expander speculate it on worker threads
+    against an imported copy of the request.
+    """
+    alt = alternate_constraint(tm, request.conditions, request.index)
+    checker = ValidityChecker(
+        tm, max_candidates=max_candidates, use_antecedent=use_antecedent
+    )
+    return checker.check(
+        alt,
+        list(request.input_vars.values()),
+        samples,
+        defaults=request.defaults,
+    )
 
 
 @dataclass
@@ -155,19 +181,31 @@ class HigherOrderBackend:
         self.total_probe_runs = 0
 
     def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
-        alt = alternate_constraint(self.tm, request.conditions, request.index)
-        checker = ValidityChecker(
+        return self.apply_plan(request, self.plan_request(request, self.store.samples()))
+
+    def plan_request(
+        self, request: GenerationRequest, samples: Sequence[Sample]
+    ) -> ValidityResult:
+        """Pure planning: decide validity of ``ALT(pc)`` against ``samples``."""
+        return plan_validity(
             self.tm,
-            max_candidates=self.max_candidates,
+            request,
+            samples,
             use_antecedent=self.use_antecedent,
+            max_candidates=self.max_candidates,
         )
+
+    def apply_plan(
+        self, request: GenerationRequest, verdict: ValidityResult
+    ) -> Optional[GeneratedTest]:
+        """The stateful finishing half: record the verdict, concretize the
+        strategy against the *live* store, probing (multi-step) if needed.
+
+        Strategies reference :class:`FunctionSymbol` objects, which are
+        shared across term managers, so a verdict planned on an imported
+        copy of the request concretizes directly against this store.
+        """
         self.solver_calls += 1
-        verdict = checker.check(
-            alt,
-            list(request.input_vars.values()),
-            self.store.samples(),
-            defaults=request.defaults,
-        )
         self.verdicts.append(verdict)
         if verdict.status is not ValidityStatus.VALID or verdict.strategy is None:
             return None

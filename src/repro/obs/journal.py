@@ -17,6 +17,7 @@ search does this for the duration of :meth:`DirectedSearch.run`).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, TextIO, Union
@@ -61,24 +62,28 @@ class RunJournal:
         self._clock = clock
         self._seq = 0
         self._closed = False
+        #: solver layers emit from worker threads during speculative flip
+        #: planning; the lock keeps seq assignment and line writes whole
+        self._lock = threading.Lock()
 
     # -- emission ----------------------------------------------------------
 
     def emit(self, kind: str, **fields: object) -> Optional[Dict[str, object]]:
         """Write one event; returns the event dict (None once closed)."""
-        if self._closed:
-            return None
-        event: Dict[str, object] = {
-            "seq": self._seq,
-            "ts": round(self._clock(), 6),
-            "kind": kind,
-        }
-        event.update(fields)
-        self._handle.write(json.dumps(event, default=str) + "\n")
-        if self._autoflush:
-            self._handle.flush()
-        self._seq += 1
-        return event
+        with self._lock:
+            if self._closed:
+                return None
+            event: Dict[str, object] = {
+                "seq": self._seq,
+                "ts": round(self._clock(), 6),
+                "kind": kind,
+            }
+            event.update(fields)
+            self._handle.write(json.dumps(event, default=str) + "\n")
+            if self._autoflush:
+                self._handle.flush()
+            self._seq += 1
+            return event
 
     @property
     def events_written(self) -> int:
@@ -87,12 +92,13 @@ class RunJournal:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._handle.flush()
-        if self._owns_handle:
-            self._handle.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -25,6 +25,7 @@ or, scoped, ``with use_registry(MetricsRegistry()) as registry: ...``.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
@@ -42,16 +43,23 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric.
 
-    __slots__ = ("name", "value")
+    Increments are lock-protected: the parallel frontier expander records
+    solver metrics from worker threads, and ``+=`` on an attribute is not
+    atomic under the interpreter.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -76,7 +84,7 @@ class Gauge:
 class Histogram:
     """Summary statistics over observed values (count/sum/min/max)."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -84,14 +92,16 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -128,25 +138,31 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instrument access -------------------------------------------------
+    # create-on-first-use is lock-protected so two worker threads racing on
+    # a new name cannot each create (and partially lose) an instrument
 
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter(name)
+            with self._lock:
+                inst = self._counters.setdefault(name, Counter(name))
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge(name)
+            with self._lock:
+                inst = self._gauges.setdefault(name, Gauge(name))
         return inst
 
     def histogram(self, name: str) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name)
+            with self._lock:
+                inst = self._histograms.setdefault(name, Histogram(name))
         return inst
 
     # -- introspection -----------------------------------------------------

@@ -17,8 +17,10 @@ from .directed import (
     SearchResult,
 )
 from .minimize import MinimizationResult, minimize_error_inputs
+from .parallel import FrontierExpander
 
 __all__ = [
+    "FrontierExpander",
     "CorpusEntry",
     "ReplayReport",
     "TestCorpus",

@@ -17,12 +17,27 @@ that step.  Three backends reproduce the paper's three worlds:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from ..solver.session import PrefixSession
 from ..solver.smt import Solver
-from ..solver.terms import TermManager
+from ..solver.terms import Term, TermManager
 from ..core.post import alternate_constraint
 from .request import GeneratedTest, GenerationRequest, TestGenBackend
+
+
+def _alternate_prefix(tm: TermManager, request: GenerationRequest) -> List[Term]:
+    """``ALT(pc)`` as a list of conjuncts, for assertion-stack reuse.
+
+    Sibling flips of one path share every conjunct up to the flip point, so
+    a :class:`~repro.solver.session.PrefixSession` asserts the common part
+    once and only re-encodes the tail that actually changed.
+    """
+    if request.conditions[request.index].is_concretization:
+        raise ValueError("cannot negate a concretization constraint")
+    prefix = [pc.term for pc in request.conditions[: request.index]]
+    prefix.append(tm.mk_not(request.conditions[request.index].term))
+    return prefix
 
 __all__ = [
     "GenerationRequest",
@@ -44,23 +59,39 @@ class QuantifierFreeBackend:
 
     name = "quantifier-free"
 
-    def __init__(self, manager: TermManager, retain_defaults: bool = True) -> None:
+    def __init__(
+        self,
+        manager: TermManager,
+        retain_defaults: bool = True,
+        use_session: bool = True,
+    ) -> None:
         self.tm = manager
         self.solver_calls = 0
         #: first try a model that keeps every input at its previous value
         #: except where the alternate constraint forces otherwise — tests
         #: stay "variants of the previous inputs" (paper §2)
         self.retain_defaults = retain_defaults
+        #: one incremental session for the whole search: the alternate
+        #: constraint is asserted once per flip and every retention pin is
+        #: solved as an assumption delta, while sibling flips reuse the
+        #: shared path-constraint prefix already on the assertion stack
+        self._session: Optional[PrefixSession] = (
+            PrefixSession(manager) if use_session else None
+        )
 
     #: cap on extra solver calls spent retaining defaults per generation
     MAX_RETENTION_CALLS = 8
 
     def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
-        alt = alternate_constraint(self.tm, request.conditions, request.index)
-        solver = Solver(self.tm)
-        solver.add(alt)
+        if self._session is not None:
+            prefix = _alternate_prefix(self.tm, request)
+            check = lambda *extra: self._session.solve(prefix, *extra)
+        else:
+            solver = Solver(self.tm)
+            solver.add(alternate_constraint(self.tm, request.conditions, request.index))
+            check = solver.check
         self.solver_calls += 1
-        result = solver.check()
+        result = check()
         if not result.sat or result.model is None:
             return None
 
@@ -81,7 +112,7 @@ class QuantifierFreeBackend:
                 pin = self.tm.mk_eq(var, self.tm.mk_int(default))
                 calls += 1
                 self.solver_calls += 1
-                attempt = solver.check(*(kept + [pin]))
+                attempt = check(*(kept + [pin]))
                 if attempt.sat and attempt.model is not None:
                     kept.append(pin)
                     result = attempt
@@ -113,16 +144,21 @@ class ExistentialBackend:
 
     name = "existential (static)"
 
-    def __init__(self, manager: TermManager) -> None:
+    def __init__(self, manager: TermManager, use_session: bool = True) -> None:
         self.tm = manager
         self.solver_calls = 0
+        self._session: Optional[PrefixSession] = (
+            PrefixSession(manager) if use_session else None
+        )
 
     def generate(self, request: GenerationRequest) -> Optional[GeneratedTest]:
-        alt = alternate_constraint(self.tm, request.conditions, request.index)
-        solver = Solver(self.tm)
-        solver.add(alt)
         self.solver_calls += 1
-        result = solver.check()
+        if self._session is not None:
+            result = self._session.solve(_alternate_prefix(self.tm, request))
+        else:
+            solver = Solver(self.tm)
+            solver.add(alternate_constraint(self.tm, request.conditions, request.index))
+            result = solver.check()
         if not result.sat or result.model is None:
             return None
         inputs = {}

@@ -35,6 +35,7 @@ from ..core.post import negatable_indices
 from ..core.samples import SampleStore
 from .backends import GeneratedTest, GenerationRequest, TestGenBackend
 from .coverage import BranchCoverage
+from .parallel import FrontierExpander
 
 __all__ = [
     "SearchConfig",
@@ -63,6 +64,9 @@ class SearchConfig:
     #: "coverage" (expand runs that discovered new branch outcomes first,
     #: the heuristic whitebox fuzzers use to steer large searches)
     frontier: str = "fifo"
+    #: worker threads planning branch flips speculatively; the generated
+    #: suite is identical for every value (see :mod:`repro.search.parallel`)
+    jobs: int = 1
 
 
 @dataclass
@@ -187,6 +191,9 @@ class DirectedSearch:
         #: tracer/metrics/journal bundle; the default is effectively free
         #: (real tracer for the time_* fields, no-op metrics and journal)
         self.obs = obs if obs is not None else Observability()
+        #: every input vector this search has executed (seed, children,
+        #: probes) — the single dedupe source of truth
+        self._seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
         # late-bind the probe runner for multi-step backends
         if getattr(backend, "probe_runner", "absent") is None:
             backend.probe_runner = self._probe_runner  # type: ignore[attr-defined]
@@ -281,11 +288,23 @@ class DirectedSearch:
         """The generational expansion loop (timed under the "search" span)."""
         obs = self.obs
         seen_paths: Set[Tuple[Tuple[int, bool], ...]] = set()
-        seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
+        self._seen_inputs = set()
+        expander = FrontierExpander(self.backend, self.config.jobs)
+        try:
+            self._expand(seed_inputs, result, seen_paths, expander)
+        finally:
+            expander.shutdown()
 
+    def _expand(
+        self,
+        seed_inputs: Dict[str, int],
+        result: SearchResult,
+        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
+        expander: FrontierExpander,
+    ) -> None:
+        obs = self.obs
         first = self._execute(seed_inputs, result, parent=None, flipped=None)
         seen_paths.add(first.result.path_key)
-        seen_inputs.add(self._input_key(seed_inputs))
         frontier: deque = deque([(first, 0)])
 
         while frontier and result.runs < self.config.max_runs:
@@ -309,17 +328,21 @@ class DirectedSearch:
                 for i in negatable_indices(conditions)
                 if i >= start and i < self.config.max_conditions_per_run
             ]
-            for i in indices:
-                if result.runs >= self.config.max_runs:
-                    break
-                request = GenerationRequest(
+            requests = [
+                GenerationRequest(
                     conditions=list(conditions),
                     index=i,
                     input_vars=dict(record.result.input_vars),
                     defaults=dict(record.result.inputs),
                 )
+                for i in indices
+            ]
+            planned = expander.plan_record(requests)
+            for k, i in enumerate(indices):
+                if result.runs >= self.config.max_runs:
+                    break
                 with obs.tracer.span("generate") as gen_span:
-                    generated = self.backend.generate(request)
+                    generated = planned.produce(k)
                 result.time_generating += gen_span.elapsed
                 result.solver_calls += 1
                 if generated is None:
@@ -333,9 +356,8 @@ class DirectedSearch:
                     note=generated.note,
                 )
                 key = self._input_key(generated.inputs)
-                if self.config.dedupe_inputs and key in seen_inputs:
+                if self.config.dedupe_inputs and key in self._seen_inputs:
                     continue
-                seen_inputs.add(key)
                 child = self._execute(
                     generated.inputs, result, parent=record.index, flipped=i
                 )
@@ -385,6 +407,7 @@ class DirectedSearch:
         with obs.tracer.span("execute") as exec_span:
             run = self.engine.run(self.entry, inputs)
         result.time_executing += exec_span.elapsed
+        self._seen_inputs.add(self._input_key(inputs))
         new_samples = self.store.merge_from_run(run)
         record = ExecutionRecord(
             index=len(result.executions),
@@ -425,7 +448,16 @@ class DirectedSearch:
         return record
 
     def _probe_runner(self, inputs: Dict[str, int]) -> None:
-        """Execute an intermediate (multi-step) run, counting it."""
+        """Execute an intermediate (multi-step) run, counting it.
+
+        A probe vector that was already executed (as the seed, a generated
+        test, or an earlier probe) is skipped outright: its samples are
+        already merged into the store, so re-running it would burn run
+        budget to learn nothing.  The multi-step driver then observes zero
+        new samples and gives up, which is the correct verdict.
+        """
+        if self.config.dedupe_inputs and self._input_key(inputs) in self._seen_inputs:
+            return
         if self._result.runs >= self.config.max_runs:
             raise ResourceLimitError("run budget exhausted during multi-step probe")
         record = self._execute(inputs, self._result, parent=None, flipped=None)

@@ -1,0 +1,218 @@
+"""Parallel frontier expansion: speculative, deterministic branch-flip planning.
+
+The directed search expands one execution record by asking the backend for
+an input vector per negatable condition.  Planning those flips is pure —
+the expensive solver work depends only on the record's path constraint and
+a snapshot of the sample store — while *finishing* a flip (recording the
+verdict, running probe tests, executing the child) mutates search state and
+must stay serial.  This module splits the two:
+
+- ``plan``: runs on a worker thread against a private :class:`TermManager`
+  built by :meth:`~repro.solver.terms.TermManager.import_term`, so worker
+  threads never touch the engine's shared manager.  Imported managers
+  assign term ids deterministically (same structure → same ids), so a plan
+  computed on a worker is bit-for-bit the plan a serial run would compute.
+- ``finish``: applied by the search loop in flip order — (run index, branch
+  index) — on the main thread.  Higher-order plans carry the sample-store
+  length they were planned against; if the store grew in the meantime
+  (probes, child executions), the plan is recomputed synchronously against
+  the live store, which is exactly what a serial run would have used.
+
+Consequently the generated test suite is byte-identical for every
+``--jobs`` value: parallelism only changes *when* speculative work happens,
+never which results are consumed.  (Metrics may differ — a stale
+speculative plan costs an extra recorded solver query.)  Backends without a
+registered planner fall back to inline ``generate()`` at consume time,
+which is serial and therefore trivially deterministic too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..solver.terms import Term, TermManager
+from ..solver.validity import Sample
+from .backends import ExistentialBackend, QuantifierFreeBackend
+from .request import GeneratedTest, GenerationRequest, TestGenBackend
+
+__all__ = ["FrontierExpander", "PlannedRecord", "import_request"]
+
+
+def import_request(
+    request: GenerationRequest,
+) -> Tuple[TermManager, GenerationRequest]:
+    """Deep-copy ``request`` into a fresh :class:`TermManager`.
+
+    Path-condition terms and input variables are imported (function symbols
+    stay shared — they are immutable and identity-keyed everywhere), so the
+    copy can be solved on a worker thread without synchronizing on the
+    engine's manager, and term ids in the copy depend only on the request's
+    structure.
+    """
+    local = TermManager()
+    cache: Dict[Term, Term] = {}
+    conditions = [
+        dataclasses.replace(pc, term=local.import_term(pc.term, cache))
+        for pc in request.conditions
+    ]
+    input_vars = {
+        name: local.import_term(var, cache)
+        for name, var in request.input_vars.items()
+    }
+    return local, GenerationRequest(
+        conditions=conditions,
+        index=request.index,
+        input_vars=input_vars,
+        defaults=dict(request.defaults),
+    )
+
+
+#: a plan function (pure, thread-safe) and its serial finisher
+_Planner = Tuple[
+    Callable[[GenerationRequest, List[Sample]], object],
+    Callable[[GenerationRequest, object], Optional[GeneratedTest]],
+]
+
+
+def _satisfiability_planner(backend: TestGenBackend, factory) -> _Planner:
+    """Planner for backends whose generate() is already pure: clone the
+    backend onto the imported manager and run it to completion."""
+
+    def plan(request: GenerationRequest, samples: List[Sample]) -> object:
+        local_tm, local_request = import_request(request)
+        worker = factory(local_tm)
+        return worker.generate(local_request), worker.solver_calls
+
+    def finish(request: GenerationRequest, planned: object) -> Optional[GeneratedTest]:
+        test, calls = planned  # type: ignore[misc]
+        backend.solver_calls += calls
+        return test
+
+    return plan, finish
+
+
+def _higher_order_planner(backend) -> _Planner:
+    from ..core.hotg import plan_validity  # deferred: core imports search
+
+    def plan(request: GenerationRequest, samples: List[Sample]) -> object:
+        local_tm, local_request = import_request(request)
+        verdict = plan_validity(
+            local_tm,
+            local_request,
+            samples,
+            use_antecedent=backend.use_antecedent,
+            max_candidates=backend.max_candidates,
+        )
+        return verdict, len(samples)
+
+    def finish(request: GenerationRequest, planned: object) -> Optional[GeneratedTest]:
+        verdict, store_len = planned  # type: ignore[misc]
+        if store_len != len(backend.store):
+            # the store grew since this plan was made (a probe or a child
+            # execution recorded samples): recompute against the live store,
+            # exactly as the serial search would have
+            verdict, _ = plan(request, backend.store.samples())
+        return backend.apply_plan(request, verdict)
+
+    return plan, finish
+
+
+def _planner_for(backend: TestGenBackend) -> Optional[_Planner]:
+    """The (plan, finish) pair for backends with a known pure planning half.
+
+    Matching is by exact type: a subclass may have overridden ``generate``
+    with logic the planner would silently skip.
+    """
+    if type(backend) is QuantifierFreeBackend:
+        retain = backend.retain_defaults
+        return _satisfiability_planner(
+            backend, lambda tm: QuantifierFreeBackend(tm, retain_defaults=retain, use_session=False)
+        )
+    if type(backend) is ExistentialBackend:
+        return _satisfiability_planner(
+            backend, lambda tm: ExistentialBackend(tm, use_session=False)
+        )
+    try:
+        from ..core.hotg import HigherOrderBackend  # deferred: core imports search
+    except ImportError:  # pragma: no cover - core is always present
+        return None
+    if type(backend) is HigherOrderBackend:
+        return _higher_order_planner(backend)
+    return None
+
+
+class PlannedRecord:
+    """The flips of one execution record, planned (or to be planned).
+
+    ``produce(k)`` returns the generated test for the record's k-th
+    candidate flip, in any order the caller likes — though the search
+    consumes them strictly in flip order to keep finishing deterministic.
+    """
+
+    def __init__(
+        self,
+        expander: "FrontierExpander",
+        requests: Sequence[GenerationRequest],
+        futures: Optional[List["Future[object]"]],
+    ) -> None:
+        self._expander = expander
+        self._requests = list(requests)
+        self._futures = futures
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def produce(self, k: int) -> Optional[GeneratedTest]:
+        future = self._futures[k] if self._futures is not None else None
+        return self._expander._produce(self._requests[k], future)
+
+
+class FrontierExpander:
+    """Dispatches flip planning to a bounded worker pool.
+
+    With ``jobs == 1`` (or an unrecognized backend) nothing is speculated:
+    plans are computed lazily on the main thread when consumed, which is
+    byte-for-byte the serial search.  With ``jobs > 1`` every flip of a
+    record is submitted to the pool up front and results are merged in flip
+    order by the search loop.
+    """
+
+    def __init__(self, backend: TestGenBackend, jobs: int = 1) -> None:
+        self.backend = backend
+        self.jobs = max(1, int(jobs))
+        self._planner = _planner_for(backend)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if self.jobs > 1 and self._planner is not None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-flip"
+            )
+
+    def plan_record(self, requests: Sequence[GenerationRequest]) -> PlannedRecord:
+        """Plan every candidate flip of one record (speculatively if pooled)."""
+        futures: Optional[List["Future[object]"]] = None
+        if self._pool is not None and self._planner is not None and requests:
+            plan, _ = self._planner
+            snapshot = self._samples()
+            futures = [self._pool.submit(plan, r, snapshot) for r in requests]
+        return PlannedRecord(self, requests, futures)
+
+    def _produce(
+        self, request: GenerationRequest, future: Optional["Future[object]"]
+    ) -> Optional[GeneratedTest]:
+        if self._planner is None:
+            return self.backend.generate(request)
+        plan, finish = self._planner
+        planned = future.result() if future is not None else plan(request, self._samples())
+        return finish(request, planned)
+
+    def _samples(self) -> List[Sample]:
+        store = getattr(self.backend, "store", None)
+        return store.samples() if store is not None else []
+
+    def shutdown(self) -> None:
+        """Discard pending speculation (consumed results are unaffected)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

@@ -17,6 +17,8 @@ from .euf import CongruenceClosure, EufResult, check_euf_conjunction
 from .simplex import Simplex, SimplexResult
 from .lia import LiaSolver, LiaResult
 from .intervals import Bound, BoundsAnalysis
+from .cache import QueryCache, default_cache, set_default_cache, use_cache
+from .session import PrefixSession, SolverSession
 from .smt import Solver, Model, CheckResult, ackermannize
 from .evalmodel import evaluate, evaluate_with_oracle
 from .nnf import atoms_of, conjunctive_branches, to_nnf
@@ -56,4 +58,10 @@ __all__ = [
     "CheckResult",
     "ackermannize",
     "evaluate",
+    "QueryCache",
+    "default_cache",
+    "set_default_cache",
+    "use_cache",
+    "PrefixSession",
+    "SolverSession",
 ]

@@ -33,12 +33,21 @@ from time import perf_counter
 from ..errors import ResourceLimitError, SolverError
 from ..obs.journal import current_journal
 from ..obs.metrics import default_registry
+from .cache import CachedResult, default_cache
 from .cnf import CnfConverter
 from .lia import LiaSolver
 from .sat import SatSolver
-from .terms import FunctionSymbol, Kind, Sort, Term, TermManager
+from .terms import (
+    CanonicalQuery,
+    FunctionSymbol,
+    Kind,
+    Sort,
+    Term,
+    TermManager,
+    canonical_query,
+)
 
-__all__ = ["Solver", "Model", "CheckResult", "ackermannize"]
+__all__ = ["Solver", "Model", "CheckResult", "ackermannize", "check_theory"]
 
 
 @dataclass
@@ -166,10 +175,18 @@ def ackermannize(
         by_fn.setdefault(app.fn, []).append(app)
     for fn, fn_apps in by_fn.items():
         for a1, a2 in itertools.combinations(fn_apps, 2):
-            arg_eqs = [
-                tm.mk_eq(x, y)
-                for x, y in zip(rewritten_args[a1], rewritten_args[a2])
-            ]
+            args1, args2 = rewritten_args[a1], rewritten_args[a2]
+            if any(
+                x is not y and x.is_const and y.is_const
+                for x, y in zip(args1, args2)
+            ):
+                # Some argument position holds two distinct constants, so the
+                # implication's antecedent folds to false and the constraint
+                # is vacuously true — skip building it.  Recorded samples
+                # apply functions to concrete points, so almost every pair is
+                # of this shape.
+                continue
+            arg_eqs = [tm.mk_eq(x, y) for x, y in zip(args1, args2)]
             constraints.append(
                 tm.mk_implies(
                     tm.mk_and(*arg_eqs), tm.mk_eq(app_to_var[a1], app_to_var[a2])
@@ -178,6 +195,119 @@ def ackermannize(
 
     new_formulas = [tm.substitute(f, mapping) for f in formulas]
     return new_formulas, app_to_var, constraints
+
+
+def check_theory(
+    tm: TermManager, literals: List[Tuple[Term, bool]]
+) -> Tuple[bool, List[Tuple[Term, bool]], Dict[str, int]]:
+    """Check a conjunction of arithmetic literals with the LIA solver.
+
+    Returns ``(sat, conflict_core, int_model)`` where the core entries are
+    (atom, polarity) pairs from the input.  Shared by the from-scratch
+    :class:`Solver` and the incremental
+    :class:`~repro.solver.session.SolverSession`.
+    """
+    lia = LiaSolver()
+    var_ids: Dict[Term, int] = {}
+
+    def var_id(v: Term) -> int:
+        idx = var_ids.get(v)
+        if idx is None:
+            idx = lia.new_var(v.name or f"t{v.tid}")
+            var_ids[v] = idx
+        return idx
+
+    for atom, pol in literals:
+        if atom.kind is Kind.CONST_BOOL:
+            if bool(atom.value) != pol:
+                return False, [(atom, pol)], {}
+            continue
+        lhs, rhs = atom.args
+        coeffs_l, const_l = tm.linearize(lhs)
+        coeffs_r, const_r = tm.linearize(rhs)
+        # lhs - rhs OP 0  =>  sum coeffs <= / = / != (const_r - const_l)
+        coeffs: Dict[int, int] = {}
+        for t, c in coeffs_l.items():
+            coeffs[var_id(t)] = coeffs.get(var_id(t), 0) + int(c)
+        for t, c in coeffs_r.items():
+            coeffs[var_id(t)] = coeffs.get(var_id(t), 0) - int(c)
+        const = int(const_r - const_l)
+        tag = (atom, pol)
+        if atom.kind is Kind.EQ:
+            if pol:
+                lia.add_eq(coeffs, const, tag)
+            else:
+                lia.add_diseq(coeffs, const, tag)
+        elif atom.kind is Kind.LE:
+            if pol:
+                lia.add_le(coeffs, const, tag)
+            else:
+                lia.add_gt(coeffs, const, tag)
+        elif atom.kind is Kind.LT:
+            if pol:
+                lia.add_lt(coeffs, const, tag)
+            else:
+                lia.add_ge(coeffs, const, tag)
+        else:
+            raise SolverError(f"unsupported theory atom {atom}")
+
+    result = lia.check()
+    if result.sat:
+        model = {
+            v.name or f"t{v.tid}": result.model.get(idx, 0)
+            for v, idx in var_ids.items()
+        }
+        return True, [], model
+    core = [t for t in result.core if isinstance(t, tuple) and len(t) == 2]
+    if not core:
+        core = list(literals)
+    return False, core, {}
+
+
+def result_to_cache_entry(result: CheckResult, cq: CanonicalQuery) -> CachedResult:
+    """Project a :class:`CheckResult` onto the canonical numbering of ``cq``."""
+    if not result.sat or result.model is None:
+        return CachedResult(sat=False, iterations=result.iterations)
+    int_idx: Dict[str, int] = {}
+    bool_idx: Dict[str, int] = {}
+    for idx, var in enumerate(cq.variables):
+        name = var.name or ""
+        if var.sort is Sort.INT:
+            int_idx.setdefault(name, idx)
+        else:
+            bool_idx.setdefault(name, idx)
+    fn_idx = {fn: i for i, fn in enumerate(cq.functions)}
+    model = result.model
+    return CachedResult(
+        sat=True,
+        iterations=result.iterations,
+        int_values={
+            int_idx[n]: v for n, v in model.ints.items() if n in int_idx
+        },
+        bool_values={
+            bool_idx[n]: v for n, v in model.bools.items() if n in bool_idx
+        },
+        tables={
+            fn_idx[fn]: dict(table)
+            for fn, table in model.functions.items()
+            if fn in fn_idx
+        },
+        default=model.default,
+    )
+
+
+def cache_entry_to_result(entry: CachedResult, cq: CanonicalQuery) -> CheckResult:
+    """Rename a cached canonical result back onto the asking query's leaves."""
+    if not entry.sat:
+        return CheckResult(sat=False, iterations=entry.iterations)
+    model = Model(default=entry.default)
+    for idx, value in entry.int_values.items():
+        model.ints[cq.variables[idx].name or ""] = value
+    for idx, value in entry.bool_values.items():
+        model.bools[cq.variables[idx].name or ""] = value
+    for fidx, table in entry.tables.items():
+        model.functions[cq.functions[fidx]] = dict(table)
+    return CheckResult(sat=True, model=model, iterations=entry.iterations)
 
 
 class Solver:
@@ -203,6 +333,7 @@ class Solver:
         max_iterations: int = 5_000,
         max_conflicts: int = 500_000,
         verify_models: bool = True,
+        use_cache: bool = True,
     ) -> None:
         self.tm = manager if manager is not None else TermManager()
         self._assertions: List[Term] = []
@@ -210,6 +341,10 @@ class Solver:
         self._max_iterations = max_iterations
         self._max_conflicts = max_conflicts
         self._verify_models = verify_models
+        #: consult the process-wide normalized query cache; safe because
+        #: every _check re-encodes from scratch (the answer is a pure
+        #: function of the asserted formulas)
+        self._use_cache = use_cache
         self.last_iterations = 0
 
     # -- assertion management ---------------------------------------------------
@@ -248,9 +383,9 @@ class Solver:
         registry = default_registry()
         journal = current_journal()
         if not registry.enabled and not journal.enabled:
-            return self._check(extra)
+            return self._check_cached(extra)
         start = perf_counter()
-        result = self._check(extra)
+        result = self._check_cached(extra)
         elapsed = perf_counter() - start
         registry.counter("smt.checks").inc()
         registry.counter("smt.sat" if result.sat else "smt.unsat").inc()
@@ -264,6 +399,24 @@ class Solver:
             assertions=len(self._assertions) + len(extra),
             seconds=round(elapsed, 6),
         )
+        return result
+
+    def _check_cached(self, extra: Tuple[Term, ...]) -> CheckResult:
+        """Answer from the normalized query cache when possible."""
+        cache = default_cache() if self._use_cache else None
+        if cache is None:
+            return self._check(extra)
+        goal = list(self._assertions) + list(extra)
+        if not goal:
+            return CheckResult(sat=True, model=Model())
+        cq = canonical_query(goal)
+        entry = cache.lookup(cq.key)
+        if entry is not None:
+            result = cache_entry_to_result(entry, cq)
+            self.last_iterations = result.iterations
+            return result
+        result = self._check(extra)
+        cache.store(cq.key, result_to_cache_entry(result, cq))
         return result
 
     def _check(self, extra: Tuple[Term, ...]) -> CheckResult:
@@ -328,67 +481,7 @@ class Solver:
     def _check_theory(
         self, literals: List[Tuple[Term, bool]]
     ) -> Tuple[bool, List[Tuple[Term, bool]], Dict[str, int]]:
-        """Check a conjunction of arithmetic literals with the LIA solver.
-
-        Returns ``(sat, conflict_core, int_model)`` where the core entries
-        are (atom, polarity) pairs from the input.
-        """
-        tm = self.tm
-        lia = LiaSolver()
-        var_ids: Dict[Term, int] = {}
-
-        def var_id(v: Term) -> int:
-            idx = var_ids.get(v)
-            if idx is None:
-                idx = lia.new_var(v.name or f"t{v.tid}")
-                var_ids[v] = idx
-            return idx
-
-        for atom, pol in literals:
-            if atom.kind is Kind.CONST_BOOL:
-                if bool(atom.value) != pol:
-                    return False, [(atom, pol)], {}
-                continue
-            lhs, rhs = atom.args
-            coeffs_l, const_l = tm.linearize(lhs)
-            coeffs_r, const_r = tm.linearize(rhs)
-            # lhs - rhs OP 0  =>  sum coeffs <= / = / != (const_r - const_l)
-            coeffs: Dict[int, int] = {}
-            for t, c in coeffs_l.items():
-                coeffs[var_id(t)] = coeffs.get(var_id(t), 0) + int(c)
-            for t, c in coeffs_r.items():
-                coeffs[var_id(t)] = coeffs.get(var_id(t), 0) - int(c)
-            const = int(const_r - const_l)
-            tag = (atom, pol)
-            if atom.kind is Kind.EQ:
-                if pol:
-                    lia.add_eq(coeffs, const, tag)
-                else:
-                    lia.add_diseq(coeffs, const, tag)
-            elif atom.kind is Kind.LE:
-                if pol:
-                    lia.add_le(coeffs, const, tag)
-                else:
-                    lia.add_gt(coeffs, const, tag)
-            elif atom.kind is Kind.LT:
-                if pol:
-                    lia.add_lt(coeffs, const, tag)
-                else:
-                    lia.add_ge(coeffs, const, tag)
-            else:
-                raise SolverError(f"unsupported theory atom {atom}")
-
-        result = lia.check()
-        if result.sat:
-            model = {
-                v.name or f"t{v.tid}": result.model.get(idx, 0)
-                for v, idx in var_ids.items()
-            }
-            return True, [], model
-        core = [t for t in result.core if isinstance(t, tuple) and len(t) == 2]
-        if not core:
-            core = list(literals)
-        return False, core, {}
+        return check_theory(self.tm, literals)
 
     # -- model construction ----------------------------------------------------------
 

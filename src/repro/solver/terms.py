@@ -33,6 +33,8 @@ __all__ = [
     "FunctionSymbol",
     "Term",
     "TermManager",
+    "CanonicalQuery",
+    "canonical_query",
 ]
 
 
@@ -588,6 +590,50 @@ class TermManager:
             return self.mk_ite(args[0], args[1], args[2])
         raise SortError(f"cannot rebuild term of kind {k}")
 
+    # -- cross-manager import ---------------------------------------------------
+
+    def import_term(self, term: Term, cache: Optional[Dict[Term, Term]] = None) -> Term:
+        """Recreate a term from *another* manager inside this one.
+
+        Variables are re-interned by name, :class:`FunctionSymbol` objects
+        are shared (they are immutable and identity-keyed everywhere), and
+        connectives are rebuilt through the factory methods so local
+        canonicalization applies.  Passing the same ``cache`` dict across
+        calls amortizes shared subterms of related formulas and guarantees
+        that identical source terms map to identical local terms.
+        """
+        if cache is None:
+            cache = {}
+
+        # iterative bottom-up walk: children are always imported before
+        # their parents, so deep conditions do not hit the recursion limit
+        stack: List[Tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in cache:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    if child not in cache:
+                        stack.append((child, False))
+                continue
+            if node.kind is Kind.CONST_INT:
+                local = self.mk_int(node.value)  # type: ignore[arg-type]
+            elif node.kind is Kind.CONST_BOOL:
+                local = self.mk_bool(bool(node.value))
+            elif node.kind is Kind.VAR:
+                local = self.mk_var(node.name or "", node.sort)
+            else:
+                args = tuple(cache[a] for a in node.args)
+                if node.kind is Kind.APP:
+                    assert node.fn is not None
+                    local = self.mk_app(node.fn, args)
+                else:
+                    local = self._rebuild(node, args)
+            cache[node] = local
+        return cache[term]
+
     # -- linear normal form ----------------------------------------------------
 
     def linearize(self, term: Term) -> Tuple[Dict[Term, Fraction], Fraction]:
@@ -622,3 +668,89 @@ class TermManager:
 
         add(term, Fraction(1))
         return {a: c for a, c in coeffs.items() if c != 0}, const
+
+
+class CanonicalQuery:
+    """Alpha-renamed canonical form of a solver query (a formula list).
+
+    Two queries have equal ``key`` exactly when they are identical up to a
+    bijective renaming of variables and function symbols.  Commutative
+    arguments are already tid-sorted by the :class:`TermManager` at
+    construction, so the key preserves argument order as stored — which is
+    precisely the structure the solver will see.  That makes the key strong
+    enough for result caching: a deterministic solver produces the *same*
+    answer (modulo the recorded renaming) for any query with the same key.
+
+    ``variables`` and ``functions`` record, in canonical-index order, the
+    concrete leaves of *this* query — the translation tables used to map a
+    cached model back onto the asking query's names.
+    """
+
+    __slots__ = ("key", "variables", "functions")
+
+    def __init__(
+        self,
+        key: Tuple[object, ...],
+        variables: Tuple[Term, ...],
+        functions: Tuple[FunctionSymbol, ...],
+    ) -> None:
+        self.key = key
+        self.variables = variables
+        self.functions = functions
+
+
+def canonical_query(formulas: Sequence[Term]) -> CanonicalQuery:
+    """Compute the renaming-invariant canonical form of a formula list.
+
+    Variables and function symbols are numbered by first occurrence in a
+    deterministic left-to-right, children-first traversal of the formulas
+    in the order given.  The resulting key is a hashable nested tuple.
+    """
+    var_index: Dict[Term, int] = {}
+    var_order: List[Term] = []
+    fn_index: Dict[FunctionSymbol, int] = {}
+    fn_order: List[FunctionSymbol] = []
+    memo: Dict[Term, Tuple[object, ...]] = {}
+
+    def encode(root: Term) -> Tuple[object, ...]:
+        stack: List[Tuple[Term, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in memo:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                # reversed so children are encoded left-to-right
+                for child in reversed(node.args):
+                    if child not in memo:
+                        stack.append((child, False))
+                continue
+            kind = node.kind
+            if kind is Kind.CONST_INT:
+                enc: Tuple[object, ...] = ("i", node.value)
+            elif kind is Kind.CONST_BOOL:
+                enc = ("b", bool(node.value))
+            elif kind is Kind.VAR:
+                idx = var_index.get(node)
+                if idx is None:
+                    idx = len(var_order)
+                    var_index[node] = idx
+                    var_order.append(node)
+                enc = ("v", node.sort.value, idx)
+            elif kind is Kind.APP:
+                assert node.fn is not None
+                fidx = fn_index.get(node.fn)
+                if fidx is None:
+                    fidx = len(fn_order)
+                    fn_index[node.fn] = fidx
+                    fn_order.append(node.fn)
+                enc = ("a", fidx, node.fn.arity) + tuple(
+                    memo[a] for a in node.args
+                )
+            else:
+                enc = (kind.value,) + tuple(memo[a] for a in node.args)
+            memo[node] = enc
+        return memo[root]
+
+    key = tuple(encode(f) for f in formulas)
+    return CanonicalQuery(key, tuple(var_order), tuple(fn_order))

@@ -61,6 +61,7 @@ from ..errors import ResourceLimitError, SolverError, StrategyError
 from ..obs.journal import current_journal
 from ..obs.metrics import default_registry
 from .evalmodel import evaluate
+from .session import SolverSession
 from .smt import CheckResult, Model, Solver
 from .terms import FunctionSymbol, Kind, Sort, Term, TermManager
 
@@ -343,11 +344,16 @@ class ValidityChecker:
                 ValidityStatus.INVALID, note="path constraint is false"
             )
 
+        # One incremental session carries the antecedent through the whole
+        # check: the fast-invalidity probe and every candidate verification
+        # below share its assertion (and the lemmas learned refuting one
+        # candidate keep pruning the next).
+        session = SolverSession(tm)
+        session.assert_base(antecedent)
+
         # Fast invalidity: if A ∧ pc has no model at all (F existential),
         # then no function consistent with A admits any input.
-        base = Solver(tm)
-        base.add(antecedent)
-        if not base.check(pc).sat:
+        if not session.check(pc).sat:
             return ValidityResult(
                 ValidityStatus.INVALID,
                 note="A ∧ pc unsatisfiable (no function interpretation works)",
@@ -361,7 +367,7 @@ class ValidityChecker:
             tried += 1
             if tried > self.max_candidates:
                 break
-            verdict = self._verify(pc, candidate, antecedent, input_vars)
+            verdict = self._verify(pc, candidate, antecedent, input_vars, session)
             if verdict is None:
                 return ValidityResult(
                     ValidityStatus.VALID,
@@ -418,11 +424,13 @@ class ValidityChecker:
         strategy: Strategy,
         antecedent: Term,
         input_vars: Sequence[Term],
+        session: Optional[SolverSession] = None,
     ) -> Optional[Model]:
         """Check ``∀F (A ⇒ pc[σ])`` via UNSAT of ``A ∧ ¬pc[σ]``.
 
         Returns None when the strategy is a valid certificate; otherwise a
-        counterexample function interpretation.
+        counterexample function interpretation.  When a ``session`` holding
+        the antecedent is supplied, the query is solved as a delta on it.
         """
         tm = self.tm
         mapping: Dict[Term, Term] = {}
@@ -432,9 +440,12 @@ class ValidityChecker:
                 return Model()  # incomplete strategy can never be verified
             mapping[v] = self._strategy_term(strategy.assignments[name])
         grounded = tm.substitute(pc, mapping)
-        solver = Solver(tm)
-        solver.add(antecedent)
-        result = solver.check(tm.mk_not(grounded))
+        if session is not None:
+            result = session.check(tm.mk_not(grounded))
+        else:
+            solver = Solver(tm)
+            solver.add(antecedent)
+            result = solver.check(tm.mk_not(grounded))
         if not result.sat:
             return None
         return result.model if result.model is not None else Model()
