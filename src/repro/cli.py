@@ -6,6 +6,9 @@ Usage::
     python -m repro run program.minic --mode unsound --max-runs 50
     python -m repro run program.minic --trace events.jsonl --profile
     python -m repro run program.minic --jobs 4            # speculative planning
+    python -m repro run program.minic --checkpoint ck/    # interrupt-safe search
+    python -m repro run program.minic --resume ck/        # continue after a kill
+    python -m repro run program.minic --fault-plan 'solver:rate=0.2,seed=7'
     python -m repro fuzz program.minic --runs 500 --range -100:100
     python -m repro modes program.minic --seed x=1,y=2   # compare engines
     python -m repro stats program.minic --seed x=1,y=2   # observability report
@@ -37,7 +40,8 @@ from typing import Dict, List, Optional, Sequence
 
 from .apps.hashes import standard_registry
 from .baselines import RandomFuzzer
-from .errors import ReproError
+from .errors import ReproError, SearchInterrupted
+from .faults import FaultPlan, NULL_PLAN, use_fault_plan
 from .lang import NativeRegistry, parse_program
 from .obs import (
     MetricsRegistry,
@@ -139,18 +143,44 @@ def _print_profile(search, registry) -> None:
     print(registry.render_table())
 
 
+def _fault_plan(args):
+    spec = getattr(args, "fault_plan", None)
+    return FaultPlan.parse(spec) if spec else NULL_PLAN
+
+
+def _print_resilience(result) -> None:
+    """Resilience summary lines: crash buckets, ladder downgrades."""
+    for crash in result.crashes:
+        print(f"  {crash}")
+    rungs = dict(result.downgrades)
+    if rungs or result.deferred_flips or result.abandoned_flips:
+        parts = [f"{rung}={n}" for rung, n in sorted(rungs.items())]
+        parts.append(f"deferred={result.deferred_flips}")
+        parts.append(f"abandoned={result.abandoned_flips}")
+        print(f"  ladder: {' '.join(parts)}")
+    if result.replayed_decisions:
+        print(f"  resumed: {result.replayed_decisions} decisions replayed")
+
+
 def cmd_run(args) -> int:
     program = _load(args.program)
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
     mode = ConcretizationMode(args.mode)
-    with _CliObservability(args) as cli_obs:
+    checkpoint_dir = args.checkpoint
+    if args.resume and not checkpoint_dir:
+        # resuming continues checkpointing into the same directory
+        checkpoint_dir = args.resume
+    with _CliObservability(args) as cli_obs, use_fault_plan(_fault_plan(args)):
         search = DirectedSearch.for_mode(
             program, entry, _natives(), mode,
             SearchConfig(
                 max_runs=args.max_runs,
                 frontier=args.frontier,
                 jobs=args.jobs,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume_from=args.resume,
             ),
             obs=cli_obs.obs,
         )
@@ -158,6 +188,7 @@ def cmd_run(args) -> int:
     print(f"[{mode.value}] {result.summary()}")
     for error in result.errors:
         print(f"  {error}")
+    _print_resilience(result)
     if cli_obs.journal is not None:
         print(
             f"  trace: {cli_obs.journal.events_written} events written "
@@ -189,7 +220,9 @@ def cmd_stats(args) -> int:
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
     mode = ConcretizationMode(args.mode)
-    with _CliObservability(args, force=True) as cli_obs:
+    with _CliObservability(args, force=True) as cli_obs, use_fault_plan(
+        _fault_plan(args)
+    ):
         search = DirectedSearch.for_mode(
             program, entry, _natives(), mode,
             SearchConfig(max_runs=args.max_runs),
@@ -197,6 +230,7 @@ def cmd_stats(args) -> int:
         )
         result = search.run(seed)
     print(f"[{mode.value}] {result.summary()}")
+    _print_resilience(result)
     print(
         f"  wall time: {result.time_total:.3f}s "
         f"(executing {result.time_executing:.3f}s, "
@@ -215,9 +249,10 @@ def suite_digest(result) -> str:
     """SHA-256 over the search's full genealogy of executed tests.
 
     Covers inputs, parentage, flipped condition, divergence flag, and the
-    backend's note per execution — two searches printing the same digest
-    generated byte-identical suites.  This is the determinism gate CI runs
-    across ``--jobs`` values.
+    backend's note per execution, plus any contained crash buckets — two
+    searches printing the same digest generated byte-identical suites.
+    This is the determinism gate CI runs across ``--jobs`` values and
+    across checkpoint/resume boundaries.
     """
     import hashlib
 
@@ -232,6 +267,18 @@ def suite_digest(result) -> str:
                     record.flipped_index,
                     record.diverged,
                     record.note,
+                )
+            ).encode("utf-8")
+        )
+    for crash in result.crashes:
+        digest.update(
+            repr(
+                (
+                    "crash",
+                    crash.bucket,
+                    crash.count,
+                    crash.run_index,
+                    tuple(sorted(crash.inputs.items())),
                 )
             ).encode("utf-8")
         )
@@ -251,7 +298,7 @@ def cmd_bench(args) -> int:
     cache = None if args.no_cache else QueryCache()
     registry = MetricsRegistry()
     obs = Observability(tracer=Tracer(), metrics=registry)
-    with use_cache(cache):
+    with use_cache(cache), use_fault_plan(_fault_plan(args)):
         search = DirectedSearch.for_mode(
             program, entry, _natives(), mode,
             SearchConfig(
@@ -406,6 +453,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print span profile and metrics tables after the search",
     )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'solver:rate=0.2,seed=7;interp:at=3;kill:at=25' "
+            "(sites: solver, interp, worker, journal, checkpoint, kill)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist search progress into DIR for crash/interrupt recovery",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=20,
+        metavar="N",
+        help="flush advisory checkpoint snapshots every N runs (default 20)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume an interrupted search from checkpoint DIR (replays its "
+            "decision log; produces the same suite as an uninterrupted run)"
+        ),
+    )
     run.set_defaults(fn=cmd_run)
 
     stats = sub.add_parser(
@@ -425,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also stream the JSONL journal to FILE",
+    )
+    stats.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection (see 'run --fault-plan')",
     )
     stats.set_defaults(fn=cmd_stats)
 
@@ -457,6 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", default=None, metavar="FILE", help="write the bench payload as JSON"
     )
+    bench.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection (see 'run --fault-plan')",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
@@ -488,6 +579,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except SearchInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.checkpoint_dir:
+            print(
+                f"resume with: repro run ... --resume {exc.checkpoint_dir}",
+                file=sys.stderr,
+            )
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import StrategyError
+from ..solver.budget import SolverBudget
 from ..solver.terms import Term, TermManager
 from ..solver.validity import (
     AppValue,
@@ -38,17 +39,21 @@ def plan_validity(
     samples: Sequence[Sample],
     use_antecedent: bool = True,
     max_candidates: int = 24,
+    budget: Optional[SolverBudget] = None,
 ) -> ValidityResult:
     """The pure planning half of higher-order generation.
 
     Deterministic in (the structure of) ``request`` and ``samples``: no
     probe runs, no store access, no shared mutable state — which is what
     lets the parallel frontier expander speculate it on worker threads
-    against an imported copy of the request.
+    against an imported copy of the request.  ``budget`` scopes a
+    :class:`~repro.solver.budget.SolverBudget` over the validity check
+    (the degradation ladder escalates it for deferred retries).
     """
     alt = alternate_constraint(tm, request.conditions, request.index)
     checker = ValidityChecker(
-        tm, max_candidates=max_candidates, use_antecedent=use_antecedent
+        tm, max_candidates=max_candidates, use_antecedent=use_antecedent,
+        budget=budget,
     )
     return checker.check(
         alt,

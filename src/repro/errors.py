@@ -24,6 +24,31 @@ class ResourceLimitError(SolverError):
     """A configured resource budget (conflicts, pivots, branches) ran out."""
 
 
+class RunBudgetExhausted(ResourceLimitError):
+    """The search's program-execution budget ran out mid test generation.
+
+    Unlike a plain :class:`ResourceLimitError` (a solver query giving up),
+    this means the *search* is over: the directed search catches it, ends
+    the current strategy gracefully, and preserves the partial result.
+    """
+
+
+class SearchInterrupted(ReproError):
+    """A search was interrupted (injected kill or external stop request).
+
+    The search flushes its checkpoint before this propagates, so an
+    interrupted session can be continued with ``repro run --resume``.
+    """
+
+    def __init__(self, message: str, checkpoint_dir: "str | None" = None) -> None:
+        super().__init__(message)
+        self.checkpoint_dir = checkpoint_dir
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan specification could not be parsed."""
+
+
 class ParseError(ReproError):
     """Source text could not be parsed into a MiniC program."""
 

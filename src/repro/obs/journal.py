@@ -41,7 +41,10 @@ class RunJournal:
             journal.emit("search_started", entry="main", max_runs=100)
 
     Values that are not JSON-serializable are stringified rather than
-    raised on — a journal must never take the session down.
+    raised on, and an ``OSError`` on write (disk full, closed pipe, or an
+    injected ``journal`` fault) disables the sink after counting a single
+    ``obs.journal.write_errors`` — a journal must never take the session
+    down.
     """
 
     enabled = True
@@ -71,7 +74,7 @@ class RunJournal:
     def emit(self, kind: str, **fields: object) -> Optional[Dict[str, object]]:
         """Write one event; returns the event dict (None once closed)."""
         with self._lock:
-            if self._closed:
+            if self._closed or not self.enabled:
                 return None
             event: Dict[str, object] = {
                 "seq": self._seq,
@@ -79,11 +82,28 @@ class RunJournal:
                 "kind": kind,
             }
             event.update(fields)
-            self._handle.write(json.dumps(event, default=str) + "\n")
-            if self._autoflush:
-                self._handle.flush()
+            try:
+                from ..faults import current_fault_plan
+
+                current_fault_plan().fire("journal")
+                self._handle.write(json.dumps(event, default=str) + "\n")
+                if self._autoflush:
+                    self._handle.flush()
+            except OSError as exc:
+                self._disable(exc)
+                return None
             self._seq += 1
             return event
+
+    def _disable(self, exc: OSError) -> None:
+        """Stop writing after the first failed write; the search goes on."""
+        self.enabled = False  # instance attribute shadows the class default
+        self.write_error: Optional[str] = str(exc)
+        from .metrics import default_registry
+
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("obs.journal.write_errors").inc()
 
     @property
     def events_written(self) -> int:

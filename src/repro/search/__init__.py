@@ -7,9 +7,11 @@ from .backends import (
     QuantifierFreeBackend,
     TestGenBackend,
 )
+from .checkpoint import CheckpointWriter, ReplayCursor
 from .coverage import BranchCoverage
 from .corpus import CorpusEntry, ReplayReport, TestCorpus
 from .directed import (
+    CrashReport,
     DirectedSearch,
     ErrorReport,
     ExecutionRecord,
@@ -20,6 +22,9 @@ from .minimize import MinimizationResult, minimize_error_inputs
 from .parallel import FrontierExpander
 
 __all__ = [
+    "CheckpointWriter",
+    "ReplayCursor",
+    "CrashReport",
     "FrontierExpander",
     "CorpusEntry",
     "ReplayReport",

@@ -10,21 +10,47 @@ The expansion order is generational (each child may only negate conditions
 at positions ≥ its creating index + 1 in its own constraint), which
 guarantees progress and mirrors the search used by the whitebox fuzzing
 work the paper builds on.
+
+Production hardening (docs/ROBUSTNESS.md) rides on top of the classic
+loop without changing the generated suite on the happy path:
+
+- **Crash containment** — a program under test that crashes the
+  interpreter (step-budget blowup, array misuse, division by zero) becomes
+  a recorded :class:`CrashReport`, deduplicated by ``error class @ line``
+  bucket, instead of aborting the search.
+- **Degradation ladder** — a solver query that exhausts its
+  :class:`~repro.solver.budget.SolverBudget` is retried down a ladder of
+  cheaper approximations (sound concretization → unsound concretization →
+  defer to an end-of-search retry with an escalated budget → abandon).
+- **Checkpoint/resume** — generation decisions are journaled to a
+  checkpoint directory; resuming replays the log (re-executing the cheap,
+  deterministic program runs and skipping all solving) and produces the
+  same suite an uninterrupted search would have.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import re
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import ReproError, ResourceLimitError
+from ..errors import (
+    ReproError,
+    ResourceLimitError,
+    RunBudgetExhausted,
+    SearchInterrupted,
+)
+from ..faults import current_fault_plan, set_fault_plan
 from ..lang.ast import Program
 from ..lang.natives import NativeRegistry
 from ..obs import Observability
 from ..obs.journal import set_current_journal
 from ..obs.metrics import set_default_registry
-from ..solver.terms import TermManager
+from ..solver.budget import DEFAULT_BUDGET, DEGRADED_BUDGET, use_budget
+from ..solver.terms import Term, TermManager
 from ..symbolic.concolic import (
     ConcolicEngine,
     ConcolicResult,
@@ -33,17 +59,29 @@ from ..symbolic.concolic import (
 )
 from ..core.post import negatable_indices
 from ..core.samples import SampleStore
-from .backends import GeneratedTest, GenerationRequest, TestGenBackend
+from .backends import (
+    GeneratedTest,
+    GenerationRequest,
+    QuantifierFreeBackend,
+    TestGenBackend,
+)
+from .checkpoint import CheckpointWriter, ReplayCursor
 from .coverage import BranchCoverage
-from .parallel import FrontierExpander
+from .parallel import FrontierExpander, PlannedRecord
 
 __all__ = [
     "SearchConfig",
+    "CrashReport",
     "ErrorReport",
     "ExecutionRecord",
     "SearchResult",
     "DirectedSearch",
 ]
+
+#: sentinel: the flip was queued for the end-of-search retry phase
+_DEFERRED = object()
+#: sentinel: the run budget is gone; end the search gracefully
+_STOP = object()
 
 
 @dataclass
@@ -67,6 +105,15 @@ class SearchConfig:
     #: worker threads planning branch flips speculatively; the generated
     #: suite is identical for every value (see :mod:`repro.search.parallel`)
     jobs: int = 1
+    #: directory to persist checkpoints into (None disables checkpointing)
+    checkpoint_dir: Optional[str] = None
+    #: flush the advisory checkpoint snapshots every N runs (the decision
+    #: log itself is appended and flushed per decision)
+    checkpoint_every: int = 20
+    #: checkpoint directory to resume from (replays its decision log)
+    resume_from: Optional[str] = None
+    #: budget multiplier for the end-of-search retry of deferred flips
+    defer_scale: float = 4.0
 
 
 @dataclass
@@ -82,6 +129,37 @@ class ErrorReport:
         return (
             f"error at line {self.line}: {self.message!r} with inputs "
             f"{self.inputs} (run #{self.run_index})"
+        )
+
+
+@dataclass
+class CrashReport:
+    """A contained crash of the program under test (not a found error).
+
+    ``error()`` statements and failed asserts are *findings* the search
+    exists to produce (:class:`ErrorReport`); a crash is the interpreter
+    itself giving up on a generated input — step-budget blowup, array
+    misuse.  (Division by zero is a *modeled* runtime error — the engine
+    turns it into a finding, not a crash.)  Crashes are triaged by
+    ``bucket``
+    (exception class @ MiniC line) so repeated instances of one defect
+    collapse into a single record with a count.
+    """
+
+    bucket: str
+    error_type: str
+    message: str
+    line: int
+    #: the first input vector that hit this bucket
+    inputs: Dict[str, int]
+    #: run number of the first instance
+    run_index: int
+    count: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"crash [{self.bucket}] x{self.count}: {self.message!r} "
+            f"first with inputs {self.inputs} (run #{self.run_index})"
         )
 
 
@@ -106,11 +184,23 @@ class SearchResult:
 
     executions: List[ExecutionRecord] = field(default_factory=list)
     errors: List[ErrorReport] = field(default_factory=list)
+    #: contained crashes of the program under test, deduplicated by bucket
+    crashes: List[CrashReport] = field(default_factory=list)
     coverage: Optional[BranchCoverage] = None
     divergences: int = 0
     solver_calls: int = 0
     runs: int = 0
     distinct_paths: int = 0
+    #: degradation-ladder downgrades per rung ("sound"/"unsound")
+    downgrades: Dict[str, int] = field(default_factory=dict)
+    #: flips pushed to the end-of-search escalated retry phase
+    deferred_flips: int = 0
+    #: deferred flips that failed even the escalated retry
+    abandoned_flips: int = 0
+    #: decisions replayed from a checkpoint instead of re-solved
+    replayed_decisions: int = 0
+    #: the session ended on a :class:`~repro.errors.SearchInterrupted`
+    interrupted: bool = False
     #: wall-clock seconds spent in program execution vs test generation
     time_total: float = 0.0
     time_executing: float = 0.0
@@ -122,10 +212,17 @@ class SearchResult:
 
     def summary(self) -> str:
         cov = f"{self.coverage.ratio():.0%}" if self.coverage else "n/a"
+        extra = ""
+        if self.crashes:
+            extra += f" crashes={len(self.crashes)}"
+        if self.downgrades:
+            extra += f" downgrades={sum(self.downgrades.values())}"
+        if self.interrupted:
+            extra += " interrupted"
         return (
             f"runs={self.runs} paths={self.distinct_paths} "
             f"errors={len(self.errors)} divergences={self.divergences} "
-            f"coverage={cov}"
+            f"coverage={cov}" + extra
         )
 
     def tree_report(self, max_rows: int = 50) -> str:
@@ -155,7 +252,37 @@ class SearchResult:
             )
         if len(self.executions) > max_rows:
             lines.append(f"... ({len(self.executions) - max_rows} more)")
+        for crash in self.crashes:
+            lines.append(str(crash))
         return "\n".join(lines)
+
+
+def _app_subterms(term: Term) -> List[Term]:
+    """Every distinct UF application occurring in ``term`` (outermost too)."""
+    out: List[Term] = []
+    seen: Set[Term] = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if t in seen:
+            continue
+        seen.add(t)
+        if t.is_app:
+            out.append(t)
+        stack.extend(t.args)
+    return out
+
+
+def _var_names(term: Term) -> Set[str]:
+    """Names of the variables occurring in ``term``."""
+    names: Set[str] = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if t.is_var and t.name:
+            names.add(t.name)
+        stack.extend(t.args)
+    return names
 
 
 class DirectedSearch:
@@ -194,6 +321,12 @@ class DirectedSearch:
         #: every input vector this search has executed (seed, children,
         #: probes) — the single dedupe source of truth
         self._seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
+        self._probe_log: List[Dict[str, int]] = []
+        self._deferred: List[Tuple[ExecutionRecord, int, GenerationRequest]] = []
+        self._frontier: Optional[deque] = None
+        self._ckpt: Optional[CheckpointWriter] = None
+        self._replay: Optional[ReplayCursor] = None
+        self._suspended_plan = None
         # late-bind the probe runner for multi-step backends
         if getattr(backend, "probe_runner", "absent") is None:
             backend.probe_runner = self._probe_runner  # type: ignore[attr-defined]
@@ -215,7 +348,6 @@ class DirectedSearch:
     ) -> "DirectedSearch":
         """Build a search with the standard backend for ``mode``."""
         from ..core.hotg import HigherOrderBackend
-        from .backends import QuantifierFreeBackend
 
         tm = manager if manager is not None else TermManager()
         engine = ConcolicEngine(program, natives, mode, tm)
@@ -235,10 +367,45 @@ class DirectedSearch:
     # -- the search loop ------------------------------------------------------------
 
     def run(self, seed_inputs: Dict[str, int]) -> SearchResult:
-        """Run the directed search from a seed input vector."""
+        """Run the directed search from a seed input vector.
+
+        Raises :class:`~repro.errors.SearchInterrupted` when the session is
+        killed mid-search (injected or external); the partial result is
+        attached to the exception as ``partial_result`` and — when
+        checkpointing is on — the checkpoint is flushed first so
+        ``SearchConfig.resume_from`` can continue the session.
+        """
         obs = self.obs
         result = SearchResult(coverage=BranchCoverage(self.engine.program))
         self._result = result
+        self._deferred = []
+        self._probe_log = []
+        self._frontier = None
+        self._replay = None
+        self._suspended_plan = None
+        self._ckpt = None
+        if self.config.resume_from:
+            self._replay = ReplayCursor.load(self.config.resume_from)
+        if self.config.checkpoint_dir:
+            resume_here = bool(
+                self.config.resume_from
+                and os.path.abspath(self.config.resume_from)
+                == os.path.abspath(self.config.checkpoint_dir)
+            )
+            self._ckpt = CheckpointWriter(
+                self.config.checkpoint_dir,
+                meta={
+                    "entry": self.entry,
+                    "mode": self.engine.mode.value,
+                    "backend": getattr(
+                        self.backend, "name", type(self.backend).__name__
+                    ),
+                    "seed": dict(seed_inputs),
+                    "fault_plan": current_fault_plan().spec(),
+                    "max_runs": self.config.max_runs,
+                },
+                resume=resume_here,
+            )
         obs.emit(
             "search_started",
             entry=self.entry,
@@ -246,6 +413,7 @@ class DirectedSearch:
             mode=self.engine.mode.value,
             backend=getattr(self.backend, "name", type(self.backend).__name__),
             max_runs=self.config.max_runs,
+            resumed=bool(self.config.resume_from),
         )
         # deep layers (SMT checks, validity verdicts) emit to the current
         # journal and record into the default registry for the duration of
@@ -254,10 +422,20 @@ class DirectedSearch:
         previous_registry = None
         if obs.metrics.enabled:
             previous_registry = set_default_registry(obs.metrics)
+        interrupted: Optional[SearchInterrupted] = None
         try:
             with obs.tracer.span("search") as root:
-                self._search_loop(seed_inputs, result)
+                try:
+                    self._search_loop(seed_inputs, result)
+                except SearchInterrupted as exc:
+                    interrupted = exc
+                    result.interrupted = True
         finally:
+            # flush the final checkpoint while the session's journal and
+            # registry are still installed, then restore the ambient slots
+            if self._ckpt is not None:
+                self._flush_checkpoint(result)
+                self._ckpt.close()
             set_current_journal(previous_journal)
             if obs.metrics.enabled:
                 set_default_registry(previous_registry)
@@ -275,24 +453,34 @@ class DirectedSearch:
             runs=result.runs,
             paths=result.distinct_paths,
             errors=len(result.errors),
+            crashes=len(result.crashes),
             divergences=result.divergences,
             solver_calls=result.solver_calls,
+            downgrades=dict(result.downgrades),
+            deferred=result.deferred_flips,
+            abandoned=result.abandoned_flips,
+            interrupted=result.interrupted,
             coverage=round(result.coverage.ratio(), 4)
             if result.coverage
             else None,
             seconds=round(result.time_total, 6),
         )
+        if interrupted is not None:
+            interrupted.checkpoint_dir = self.config.checkpoint_dir
+            interrupted.partial_result = result  # type: ignore[attr-defined]
+            raise interrupted
         return result
 
     def _search_loop(self, seed_inputs: Dict[str, int], result: SearchResult) -> None:
         """The generational expansion loop (timed under the "search" span)."""
-        obs = self.obs
         seen_paths: Set[Tuple[Tuple[int, bool], ...]] = set()
         self._seen_inputs = set()
+        self._begin_replay()
         expander = FrontierExpander(self.backend, self.config.jobs)
         try:
             self._expand(seed_inputs, result, seen_paths, expander)
         finally:
+            self._end_replay(result)
             expander.shutdown()
 
     def _expand(
@@ -302,12 +490,18 @@ class DirectedSearch:
         seen_paths: Set[Tuple[Tuple[int, bool], ...]],
         expander: FrontierExpander,
     ) -> None:
-        obs = self.obs
         first = self._execute(seed_inputs, result, parent=None, flipped=None)
+        if first is None:
+            # the seed input itself crashed the program under test; the
+            # contained crash record is this session's whole story
+            result.distinct_paths = 0
+            return
         seen_paths.add(first.result.path_key)
         frontier: deque = deque([(first, 0)])
+        self._frontier = frontier
+        stop = False
 
-        while frontier and result.runs < self.config.max_runs:
+        while frontier and not stop and result.runs < self.config.max_runs:
             if self.config.frontier == "coverage":
                 # expand the pending run with the most newly covered
                 # branch outcomes first (ties: oldest first)
@@ -337,58 +531,378 @@ class DirectedSearch:
                 )
                 for i in indices
             ]
-            planned = expander.plan_record(requests)
+            # replay skips all solving, so speculative planning would only
+            # burn worker time (and fault-site counters) for nothing
+            planned = expander.plan_record(requests, speculate=self._replay is None)
             for k, i in enumerate(indices):
                 if result.runs >= self.config.max_runs:
                     break
-                with obs.tracer.span("generate") as gen_span:
-                    generated = planned.produce(k)
-                result.time_generating += gen_span.elapsed
-                result.solver_calls += 1
-                if generated is None:
-                    continue
-                obs.emit(
-                    "test_generated",
-                    inputs=dict(generated.inputs),
-                    parent=record.index,
-                    flip=i,
-                    intermediate_runs=generated.intermediate_runs,
-                    note=generated.note,
-                )
-                key = self._input_key(generated.inputs)
-                if self.config.dedupe_inputs and key in self._seen_inputs:
-                    continue
-                child = self._execute(
-                    generated.inputs, result, parent=record.index, flipped=i
-                )
-                child.intermediate_runs = generated.intermediate_runs
-                child.note = generated.note
-                child.diverged = self._diverged(record.result, i, child.result)
-                obs.emit(
-                    "branch_flipped",
-                    parent=record.index,
-                    child=child.index,
-                    flip=i,
-                    branch_id=conditions[i].branch_id,
-                    line=conditions[i].line,
-                    diverged=child.diverged,
-                )
-                if child.diverged:
-                    result.divergences += 1
-                    obs.emit(
-                        "divergence_detected",
-                        run=child.index,
-                        parent=record.index,
-                        flip=i,
-                        inputs=dict(child.result.inputs),
+                with self.obs.tracer.span("generate") as gen_span:
+                    outcome = self._generate_flip(
+                        planned, k, requests[k], record, i, result
                     )
-                if child.result.path_key not in seen_paths:
-                    seen_paths.add(child.result.path_key)
-                    frontier.append((child, i + 1))
+                result.time_generating += gen_span.elapsed
+                if outcome is _STOP:
+                    stop = True
+                    break
+                if outcome is _DEFERRED or outcome is None:
+                    continue
+                self._consume_generated(outcome, record, i, result, seen_paths, frontier)
                 if result.errors and self.config.stop_on_first_error:
                     result.distinct_paths = len(seen_paths)
                     return
+        self._drain_deferred(result, seen_paths)
         result.distinct_paths = len(seen_paths)
+
+    # -- flip generation: replay + degradation ladder -------------------------------
+
+    def _generate_flip(
+        self,
+        planned: PlannedRecord,
+        k: int,
+        request: GenerationRequest,
+        record: ExecutionRecord,
+        i: int,
+        result: SearchResult,
+    ):
+        """Inputs for one flip, via the decision log (resume) or the ladder.
+
+        Returns a :class:`GeneratedTest`, None (no test for this flip),
+        ``_DEFERRED`` (queued for the escalated retry phase), or ``_STOP``
+        (the run budget is exhausted; end the search gracefully).
+        """
+        if self._replay is not None:
+            entry = self._replay.take(record.index, i)
+            if entry is not None:
+                try:
+                    return self._apply_replayed(entry, record, i, request, result)
+                except RunBudgetExhausted:
+                    return _STOP
+            self._end_replay(result)
+        result.solver_calls += 1
+        self._probe_log = []
+        try:
+            generated, rung = self._run_ladder(planned, k, request, record, i, result)
+        except RunBudgetExhausted:
+            # a multi-step probe ran out of execution budget: the strategy
+            # is over, but everything produced so far stands
+            self.obs.emit("run_budget_exhausted", parent=record.index, flip=i)
+            return _STOP
+        self._log_decision(record.index, i, rung, generated, list(self._probe_log))
+        if rung == "deferred":
+            result.deferred_flips += 1
+            self._deferred.append((record, i, request))
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("search.flips_deferred").inc()
+            self.obs.emit("flip_deferred", parent=record.index, flip=i)
+            return _DEFERRED
+        return generated
+
+    def _run_ladder(
+        self,
+        planned: PlannedRecord,
+        k: int,
+        request: GenerationRequest,
+        record: ExecutionRecord,
+        i: int,
+        result: SearchResult,
+    ) -> Tuple[Optional[GeneratedTest], str]:
+        """The solver degradation ladder for one flip.
+
+        full-strength query → sound concretization → unsound concretization
+        → defer.  Each rung only runs when the previous one *exhausted its
+        budget* (``ResourceLimitError``); a rung that answers — with a test
+        or with UNSAT — ends the ladder.
+        """
+        try:
+            return planned.produce(k), "full"
+        except RunBudgetExhausted:
+            raise
+        except ResourceLimitError:
+            pass
+        for rung, pin in (("sound", True), ("unsound", False)):
+            self._count_downgrade(rung, record.index, i, result)
+            try:
+                with use_budget(DEGRADED_BUDGET):
+                    generated = self._degraded_generate(request, pin=pin)
+            except ResourceLimitError:
+                continue
+            if generated is not None:
+                return generated, rung
+            if not pin:
+                # even the unconstrained concretization is UNSAT: the flip
+                # is infeasible under every approximation we can afford
+                return None, rung
+            # sound UNSAT may be an artifact of the pins; retry without them
+        return None, "deferred"
+
+    def _count_downgrade(
+        self, rung: str, parent: int, flip: int, result: SearchResult
+    ) -> None:
+        result.downgrades[rung] = result.downgrades.get(rung, 0) + 1
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(f"search.downgrades.{rung}").inc()
+        self.obs.emit("flip_downgraded", parent=parent, flip=flip, rung=rung)
+
+    def _degraded_generate(
+        self, request: GenerationRequest, pin: bool
+    ) -> Optional[GeneratedTest]:
+        """Concretized fallback for a flip whose full query blew its budget.
+
+        Every UF application in the path constraint is replaced by its
+        concrete value under the parent run's inputs and the recorded IOF
+        sample table (the parent actually executed those applications, so
+        recorded points are exact).  With ``pin=True`` the inputs feeding
+        the applications are additionally pinned to their parent values —
+        the same move the concolic SOUND mode makes — so the concrete
+        values stay correct; without pins the query is cheaper but unsound
+        (a generated test may diverge, which the search detects as usual).
+        """
+        from ..solver.evalmodel import evaluate
+        from ..solver.smt import Model
+
+        table: Dict = {}
+        for (fn, args), value in self.store.as_table().items():
+            table.setdefault(fn, {})[args] = value
+        model = Model(ints=dict(request.defaults), functions=table)
+        local = TermManager()
+        cache: Dict[Term, Term] = {}
+        pin_names: Set[str] = set()
+        for pc in request.conditions:
+            for app in _app_subterms(pc.term):
+                if app not in cache:
+                    cache[app] = local.mk_int(int(evaluate(app, model)))
+                if pin:
+                    for arg in app.args:
+                        pin_names.update(_var_names(arg))
+        conditions = [
+            dataclasses.replace(pc, term=local.import_term(pc.term, cache))
+            for pc in request.conditions
+        ]
+        input_vars = {
+            name: local.import_term(var, cache)
+            for name, var in request.input_vars.items()
+        }
+        index = request.index
+        if pin:
+            pins = [
+                PathCondition(
+                    term=local.mk_eq(
+                        input_vars[name], local.mk_int(request.defaults[name])
+                    ),
+                    is_concretization=True,
+                )
+                for name in sorted(pin_names)
+                if name in input_vars and name in request.defaults
+            ]
+            conditions = pins + conditions
+            index += len(pins)
+        degraded = GenerationRequest(
+            conditions=conditions,
+            index=index,
+            input_vars=input_vars,
+            defaults=dict(request.defaults),
+        )
+        solver = QuantifierFreeBackend(local, retain_defaults=True, use_session=False)
+        generated = solver.generate(degraded)
+        if generated is None:
+            return None
+        kind = "sound" if pin else "unsound"
+        return GeneratedTest(
+            inputs=generated.inputs,
+            note=f"degraded ({kind} concretization)",
+        )
+
+    # -- checkpoint / resume ---------------------------------------------------------
+
+    def _begin_replay(self) -> None:
+        if self._replay is None:
+            return
+        # suppress fault injection while replaying: the replayed prefix
+        # already consumed its share of the fault sequence in the original
+        # process; the checkpointed counters are restored when going live
+        self._suspended_plan = set_fault_plan(None)
+
+    def _end_replay(self, result: SearchResult) -> None:
+        if self._replay is None:
+            return
+        cursor = self._replay
+        self._replay = None
+        obs = self.obs
+        if cursor.diverged:
+            if obs.metrics.enabled:
+                obs.metrics.counter("search.resume.divergence").inc()
+            obs.emit(
+                "resume_divergence",
+                replayed=len(cursor.consumed),
+                logged=len(cursor),
+            )
+        if obs.metrics.enabled:
+            obs.metrics.counter("search.resume.replayed").inc(len(cursor.consumed))
+        obs.emit(
+            "search_resumed",
+            directory=cursor.directory,
+            replayed=len(cursor.consumed),
+            diverged=cursor.diverged,
+        )
+        if self._suspended_plan is not None:
+            plan = self._suspended_plan
+            self._suspended_plan = None
+            set_fault_plan(plan)
+            if cursor.fault_state:
+                # continue the interrupted fault sequence instead of
+                # repeating it (a one-shot kill must not re-fire)
+                plan.restore_state(cursor.fault_state)
+        if self._ckpt is not None:
+            self._ckpt.reset_decisions(cursor.consumed)
+
+    def _apply_replayed(
+        self,
+        entry: Dict[str, object],
+        record: ExecutionRecord,
+        i: int,
+        request: GenerationRequest,
+        result: SearchResult,
+    ):
+        """Re-enact one logged decision without calling the solver."""
+        result.replayed_decisions += 1
+        rung = str(entry.get("rung", "full"))
+        for probe in entry.get("probes") or []:  # type: ignore[union-attr]
+            self._probe_runner({str(k): int(v) for k, v in dict(probe).items()})
+        # reconstruct the ladder counters the live run would have recorded
+        if rung in ("sound", "unsound", "deferred"):
+            self._count_downgrade("sound", record.index, i, result)
+        if rung in ("unsound", "deferred"):
+            self._count_downgrade("unsound", record.index, i, result)
+        if rung == "deferred":
+            result.deferred_flips += 1
+            self._deferred.append((record, i, request))
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("search.flips_deferred").inc()
+            return _DEFERRED
+        if rung == "abandoned":
+            result.abandoned_flips += 1
+            return None
+        produced = entry.get("produced")
+        if produced is None:
+            return None
+        return GeneratedTest(
+            inputs={str(k): int(v) for k, v in dict(produced).items()},  # type: ignore[arg-type]
+            intermediate_runs=int(entry.get("intermediate_runs") or 0),  # type: ignore[arg-type]
+            note=str(entry.get("note") or ""),
+        )
+
+    def _log_decision(
+        self,
+        parent: int,
+        flip: int,
+        rung: str,
+        generated: Optional[GeneratedTest],
+        probes: List[Dict[str, int]],
+    ) -> None:
+        if self._ckpt is None:
+            return
+        self._ckpt.append_decision(
+            {
+                "parent": parent,
+                "flip": flip,
+                "rung": rung,
+                "produced": dict(generated.inputs) if generated is not None else None,
+                "note": generated.note if generated is not None else "",
+                "intermediate_runs": generated.intermediate_runs
+                if generated is not None
+                else 0,
+                "probes": probes,
+            }
+        )
+
+    def _maybe_checkpoint(self, result: SearchResult) -> None:
+        if self._ckpt is None or self._replay is not None:
+            return
+        if result.runs % max(1, self.config.checkpoint_every) != 0:
+            return
+        self._flush_checkpoint(result)
+
+    def _flush_checkpoint(self, result: SearchResult) -> None:
+        ckpt = self._ckpt
+        if ckpt is None or not ckpt.enabled:
+            return
+        frontier_rows = [
+            {"record": rec.index, "start": start, "inputs": dict(rec.result.inputs)}
+            for rec, start in (self._frontier or ())
+        ]
+        corpus = None
+        try:
+            from .corpus import TestCorpus  # deferred: corpus imports this module
+
+            corpus = TestCorpus()
+            corpus.add_from_search(result)
+        except ReproError:  # pragma: no cover - snapshot is advisory
+            corpus = None
+        ckpt.flush_state(
+            result.runs,
+            self.store.samples(),
+            current_fault_plan().state(),
+            frontier_rows,
+            corpus=corpus,
+        )
+        if ckpt.enabled:
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("search.checkpoint.writes").inc()
+            self.obs.emit(
+                "checkpoint_written", runs=result.runs, directory=ckpt.directory
+            )
+
+    # -- deferred retry phase --------------------------------------------------------
+
+    def _drain_deferred(
+        self,
+        result: SearchResult,
+        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
+    ) -> None:
+        """End-of-search retry of deferred flips with an escalated budget."""
+        if not self._deferred:
+            return
+        obs = self.obs
+        escalated = DEFAULT_BUDGET.scaled(self.config.defer_scale)
+        queue, self._deferred = self._deferred, []
+        for record, i, request in queue:
+            if result.runs >= self.config.max_runs:
+                break
+            if self._replay is not None:
+                entry = self._replay.take(record.index, i)
+                if entry is not None:
+                    try:
+                        generated = self._apply_replayed(
+                            entry, record, i, request, result
+                        )
+                    except RunBudgetExhausted:
+                        break
+                    if generated is not None and generated is not _DEFERRED:
+                        self._consume_generated(
+                            generated, record, i, result, seen_paths, None
+                        )
+                    continue
+                self._end_replay(result)
+            result.solver_calls += 1
+            self._probe_log = []
+            obs.emit("flip_retried", parent=record.index, flip=i)
+            try:
+                with use_budget(escalated):
+                    generated = self.backend.generate(request)
+                rung = "escalated"
+            except RunBudgetExhausted:
+                break
+            except ResourceLimitError:
+                generated = None
+                rung = "abandoned"
+                result.abandoned_flips += 1
+                if obs.metrics.enabled:
+                    obs.metrics.counter("search.flips_abandoned").inc()
+                obs.emit("flip_abandoned", parent=record.index, flip=i)
+            self._log_decision(record.index, i, rung, generated, list(self._probe_log))
+            if generated is not None:
+                self._consume_generated(generated, record, i, result, seen_paths, None)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -396,16 +910,84 @@ class DirectedSearch:
     def _input_key(inputs: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
         return tuple(sorted(inputs.items()))
 
+    def _consume_generated(
+        self,
+        generated: GeneratedTest,
+        record: ExecutionRecord,
+        i: int,
+        result: SearchResult,
+        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
+        frontier: Optional[deque],
+    ) -> Optional[ExecutionRecord]:
+        """Execute a generated test and fold it into the search state.
+
+        ``frontier=None`` (the deferred retry phase) still records paths
+        and errors but does not expand the child further.
+        """
+        obs = self.obs
+        conditions = record.result.path_conditions
+        obs.emit(
+            "test_generated",
+            inputs=dict(generated.inputs),
+            parent=record.index,
+            flip=i,
+            intermediate_runs=generated.intermediate_runs,
+            note=generated.note,
+        )
+        key = self._input_key(generated.inputs)
+        if self.config.dedupe_inputs and key in self._seen_inputs:
+            return None
+        child = self._execute(
+            generated.inputs, result, parent=record.index, flipped=i
+        )
+        if child is None:
+            return None  # the child crashed; contained and bucketed
+        child.intermediate_runs = generated.intermediate_runs
+        child.note = generated.note
+        child.diverged = self._diverged(record.result, i, child.result)
+        obs.emit(
+            "branch_flipped",
+            parent=record.index,
+            child=child.index,
+            flip=i,
+            branch_id=conditions[i].branch_id,
+            line=conditions[i].line,
+            diverged=child.diverged,
+        )
+        if child.diverged:
+            result.divergences += 1
+            obs.emit(
+                "divergence_detected",
+                run=child.index,
+                parent=record.index,
+                flip=i,
+                inputs=dict(child.result.inputs),
+            )
+        if child.result.path_key not in seen_paths:
+            seen_paths.add(child.result.path_key)
+            if frontier is not None:
+                frontier.append((child, i + 1))
+        return child
+
     def _execute(
         self,
         inputs: Dict[str, int],
         result: SearchResult,
         parent: Optional[int],
         flipped: Optional[int],
-    ) -> ExecutionRecord:
+    ) -> Optional[ExecutionRecord]:
+        """Run one test; returns None when the run crashed (contained)."""
         obs = self.obs
-        with obs.tracer.span("execute") as exec_span:
-            run = self.engine.run(self.entry, inputs)
+        current_fault_plan().fire("kill")
+        try:
+            with obs.tracer.span("execute") as exec_span:
+                run = self.engine.run(self.entry, inputs)
+        except (SearchInterrupted, RunBudgetExhausted):
+            raise
+        except ReproError as exc:
+            result.time_executing += exec_span.elapsed
+            self._contain_crash(exc, inputs, result, parent, flipped)
+            return None
         result.time_executing += exec_span.elapsed
         self._seen_inputs.add(self._input_key(inputs))
         new_samples = self.store.merge_from_run(run)
@@ -445,7 +1027,54 @@ class DirectedSearch:
                 message=run.error_message,
                 line=run.error_line,
             )
+        self._maybe_checkpoint(result)
         return record
+
+    def _contain_crash(
+        self,
+        exc: ReproError,
+        inputs: Dict[str, int],
+        result: SearchResult,
+        parent: Optional[int],
+        flipped: Optional[int],
+    ) -> None:
+        """Record a crashing program under test as a bucketed crash outcome."""
+        obs = self.obs
+        self._seen_inputs.add(self._input_key(inputs))
+        run_index = result.runs
+        result.runs += 1
+        name = type(exc).__name__
+        match = re.search(r"line (\d+)", str(exc))
+        line = int(match.group(1)) if match else 0
+        bucket = f"{name}@{line}"
+        existing = next((c for c in result.crashes if c.bucket == bucket), None)
+        if existing is not None:
+            existing.count += 1
+        else:
+            result.crashes.append(
+                CrashReport(
+                    bucket=bucket,
+                    error_type=name,
+                    message=str(exc),
+                    line=line,
+                    inputs=dict(inputs),
+                    run_index=run_index,
+                )
+            )
+        if obs.metrics.enabled:
+            obs.metrics.counter("search.crashes").inc()
+        obs.emit(
+            "crash_contained",
+            run=run_index,
+            bucket=bucket,
+            error=name,
+            line=line,
+            message=str(exc),
+            inputs=dict(inputs),
+            parent=parent,
+            flip=flipped,
+        )
+        self._maybe_checkpoint(result)
 
     def _probe_runner(self, inputs: Dict[str, int]) -> None:
         """Execute an intermediate (multi-step) run, counting it.
@@ -455,13 +1084,19 @@ class DirectedSearch:
         already merged into the store, so re-running it would burn run
         budget to learn nothing.  The multi-step driver then observes zero
         new samples and gives up, which is the correct verdict.
+
+        Raises :class:`~repro.errors.RunBudgetExhausted` when the search's
+        run budget is gone — the search catches it and ends the current
+        strategy gracefully, preserving the partial result.
         """
+        self._probe_log.append(dict(inputs))
         if self.config.dedupe_inputs and self._input_key(inputs) in self._seen_inputs:
             return
         if self._result.runs >= self.config.max_runs:
-            raise ResourceLimitError("run budget exhausted during multi-step probe")
+            raise RunBudgetExhausted("run budget exhausted during multi-step probe")
         record = self._execute(inputs, self._result, parent=None, flipped=None)
-        record.note = "multi-step probe"
+        if record is not None:
+            record.note = "multi-step probe"
 
     def _diverged(
         self, parent: ConcolicResult, flipped_index: int, child: ConcolicResult

@@ -32,6 +32,8 @@ import dataclasses
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ResourceLimitError
+from ..faults import current_fault_plan
 from ..solver.terms import Term, TermManager
 from ..solver.validity import Sample
 from .backends import ExistentialBackend, QuantifierFreeBackend
@@ -189,14 +191,35 @@ class FrontierExpander:
                 max_workers=self.jobs, thread_name_prefix="repro-flip"
             )
 
-    def plan_record(self, requests: Sequence[GenerationRequest]) -> PlannedRecord:
-        """Plan every candidate flip of one record (speculatively if pooled)."""
+    def plan_record(
+        self, requests: Sequence[GenerationRequest], speculate: bool = True
+    ) -> PlannedRecord:
+        """Plan every candidate flip of one record (speculatively if pooled).
+
+        ``speculate=False`` skips the worker pool for this record: plans are
+        computed lazily on the main thread at consume time (the checkpoint
+        replay uses this — replayed flips never consult the solver at all).
+        """
         futures: Optional[List["Future[object]"]] = None
-        if self._pool is not None and self._planner is not None and requests:
+        if (
+            speculate
+            and self._pool is not None
+            and self._planner is not None
+            and requests
+        ):
             plan, _ = self._planner
             snapshot = self._samples()
-            futures = [self._pool.submit(plan, r, snapshot) for r in requests]
+            futures = [
+                self._pool.submit(self._speculate, plan, r, snapshot)
+                for r in requests
+            ]
         return PlannedRecord(self, requests, futures)
+
+    @staticmethod
+    def _speculate(plan, request: GenerationRequest, samples: List[Sample]) -> object:
+        """One worker-thread planning task (with its fault-injection site)."""
+        current_fault_plan().fire("worker")
+        return plan(request, samples)
 
     def _produce(
         self, request: GenerationRequest, future: Optional["Future[object]"]
@@ -204,7 +227,32 @@ class FrontierExpander:
         if self._planner is None:
             return self.backend.generate(request)
         plan, finish = self._planner
-        planned = future.result() if future is not None else plan(request, self._samples())
+        if future is not None:
+            try:
+                planned = future.result()
+            except ResourceLimitError:
+                # a budget exhausted on a worker is a property of the query,
+                # not of the worker: surface it to the degradation ladder
+                raise
+            except Exception as exc:
+                # the speculative worker died (crash, injected fault): the
+                # plan is pure, so recomputing it serially yields exactly
+                # the result the worker would have produced
+                from ..obs.journal import current_journal
+                from ..obs.metrics import default_registry
+
+                registry = default_registry()
+                if registry.enabled:
+                    registry.counter("search.parallel.worker_failures").inc()
+                current_journal().emit(
+                    "worker_failure",
+                    flip=request.index,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+                planned = plan(request, self._samples())
+        else:
+            planned = plan(request, self._samples())
         return finish(request, planned)
 
     def _samples(self) -> List[Sample]:

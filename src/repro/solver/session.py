@@ -41,8 +41,10 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ResourceLimitError, SolverError
+from ..faults import current_fault_plan
 from ..obs.journal import current_journal
 from ..obs.metrics import default_registry
+from .budget import current_budget
 from .cnf import CnfConverter
 from .sat import SatSolver
 from .smt import CheckResult, Model, check_theory
@@ -113,10 +115,15 @@ class SolverSession:
     def __init__(
         self,
         manager: Optional[TermManager] = None,
-        max_iterations: int = 5_000,
-        max_conflicts: int = 500_000,
+        max_iterations: Optional[int] = None,
+        max_conflicts: Optional[int] = None,
         verify_models: bool = True,
     ) -> None:
+        budget = current_budget()
+        if max_iterations is None:
+            max_iterations = budget.max_iterations
+        if max_conflicts is None:
+            max_conflicts = budget.max_conflicts
         self.tm = manager if manager is not None else TermManager()
         # max_conflicts is a whole-session budget: SatSolver counts
         # conflicts cumulatively, which bounds runaway sessions too.
@@ -326,6 +333,9 @@ class SolverSession:
         return result
 
     def _check(self, extra: Tuple[Term, ...]) -> CheckResult:
+        # fault-injection site: forced exhaustion before any state mutates,
+        # so a degraded/retried query sees a clean session
+        current_fault_plan().fire("solver")
         ext = _Frame(self._sat.new_var()) if extra else None
         registry = default_registry()
         try:

@@ -31,8 +31,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from time import perf_counter
 
 from ..errors import ResourceLimitError, SolverError
+from ..faults import current_fault_plan
 from ..obs.journal import current_journal
 from ..obs.metrics import default_registry
+from .budget import current_budget
 from .cache import CachedResult, default_cache
 from .cnf import CnfConverter
 from .lia import LiaSolver
@@ -205,9 +207,13 @@ def check_theory(
     Returns ``(sat, conflict_core, int_model)`` where the core entries are
     (atom, polarity) pairs from the input.  Shared by the from-scratch
     :class:`Solver` and the incremental
-    :class:`~repro.solver.session.SolverSession`.
+    :class:`~repro.solver.session.SolverSession`.  Branch and pivot limits
+    come from the ambient :func:`~repro.solver.budget.current_budget`.
     """
-    lia = LiaSolver()
+    budget = current_budget()
+    lia = LiaSolver(
+        max_branches=budget.max_branches, max_pivots=budget.max_pivots
+    )
     var_ids: Dict[Term, int] = {}
 
     def var_id(v: Term) -> int:
@@ -330,16 +336,21 @@ class Solver:
     def __init__(
         self,
         manager: Optional[TermManager] = None,
-        max_iterations: int = 5_000,
-        max_conflicts: int = 500_000,
+        max_iterations: Optional[int] = None,
+        max_conflicts: Optional[int] = None,
         verify_models: bool = True,
         use_cache: bool = True,
     ) -> None:
+        budget = current_budget()
         self.tm = manager if manager is not None else TermManager()
         self._assertions: List[Term] = []
         self._scopes: List[int] = []
-        self._max_iterations = max_iterations
-        self._max_conflicts = max_conflicts
+        self._max_iterations = (
+            max_iterations if max_iterations is not None else budget.max_iterations
+        )
+        self._max_conflicts = (
+            max_conflicts if max_conflicts is not None else budget.max_conflicts
+        )
         self._verify_models = verify_models
         #: consult the process-wide normalized query cache; safe because
         #: every _check re-encodes from scratch (the answer is a pure
@@ -424,6 +435,9 @@ class Solver:
         goal = list(self._assertions) + list(extra)
         if not goal:
             return CheckResult(sat=True, model=Model())
+        # fault-injection site: a forced ResourceLimitError here behaves
+        # exactly like real budget exhaustion mid-query
+        current_fault_plan().fire("solver")
 
         # 1) eliminate integer ITEs
         flat: List[Term] = []

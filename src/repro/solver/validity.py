@@ -60,6 +60,7 @@ from time import perf_counter
 from ..errors import ResourceLimitError, SolverError, StrategyError
 from ..obs.journal import current_journal
 from ..obs.metrics import default_registry
+from .budget import SolverBudget, use_budget
 from .evalmodel import evaluate
 from .session import SolverSession
 from .smt import CheckResult, Model, Solver
@@ -264,6 +265,11 @@ class ValidityChecker:
     use_antecedent:
         When False, samples are ignored in verification — reproducing the
         paper's Example 4 contrast (validity *requires* the antecedent).
+    budget:
+        Optional :class:`~repro.solver.budget.SolverBudget` scoped over
+        every solver query this check spawns; None inherits the ambient
+        budget.  The directed search's degradation ladder re-runs deferred
+        flips through here with escalated budgets.
     """
 
     def __init__(
@@ -272,10 +278,12 @@ class ValidityChecker:
         max_candidates: int = 24,
         use_antecedent: bool = True,
         enable_offsets: bool = True,
+        budget: Optional[SolverBudget] = None,
     ) -> None:
         self.tm = manager
         self.max_candidates = max_candidates
         self.use_antecedent = use_antecedent
+        self.budget = budget
         #: allow offset strategies (``x := h(c) + k``); disabling them
         #: recreates the expressiveness of the paper's literal §7 prototype
         #: (ablation: disequality branches become uncoverable)
@@ -303,9 +311,9 @@ class ValidityChecker:
         registry = default_registry()
         journal = current_journal()
         if not registry.enabled and not journal.enabled:
-            return self._check(pc, input_vars, samples, defaults)
+            return self._check_budgeted(pc, input_vars, samples, defaults)
         start = perf_counter()
-        result = self._check(pc, input_vars, samples, defaults)
+        result = self._check_budgeted(pc, input_vars, samples, defaults)
         elapsed = perf_counter() - start
         registry.counter("validity.checks").inc()
         registry.counter(f"validity.{result.status.value}").inc()
@@ -320,6 +328,18 @@ class ValidityChecker:
             seconds=round(elapsed, 6),
         )
         return result
+
+    def _check_budgeted(
+        self,
+        pc: Term,
+        input_vars: Sequence[Term],
+        samples: Sequence[Sample] = (),
+        defaults: Optional[Dict[str, int]] = None,
+    ) -> ValidityResult:
+        if self.budget is None:
+            return self._check(pc, input_vars, samples, defaults)
+        with use_budget(self.budget):
+            return self._check(pc, input_vars, samples, defaults)
 
     def _check(
         self,

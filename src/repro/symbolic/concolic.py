@@ -44,6 +44,7 @@ from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InterpError, StepBudgetExceeded, SymbolicExecutionError
+from ..faults import current_fault_plan
 from ..lang.ast import (
     ArrayAssign,
     ArrayDecl,
@@ -252,6 +253,9 @@ class ConcolicEngine:
 
     def run(self, entry: str, inputs: Dict[str, int]) -> ConcolicResult:
         """Execute ``entry`` concolically on the given concrete inputs."""
+        # fault-injection site "interp": a forced step-budget blowup, for
+        # exercising the search's crash containment deterministically
+        current_fault_plan().fire("interp")
         fn = self.program.function(entry)
         missing = [p for p in fn.params if p not in inputs]
         if missing:
