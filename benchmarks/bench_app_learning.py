@@ -39,7 +39,7 @@ class TestCrossRunLearning:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=80),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=80),
             )
             return search.run(app.initial_inputs("zzz", 0))
 
@@ -56,7 +56,7 @@ class TestCrossRunLearning:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=120),
                 manager=tm, store=store,
             )
             return search.run(app.initial_inputs("zzz", 0))

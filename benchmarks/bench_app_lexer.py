@@ -38,7 +38,7 @@ class TestLexerComparison:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.UNSOUND, SearchConfig(max_runs=120),
+                ConcretizationMode.UNSOUND, SearchConfig.from_options(max_runs=120),
             )
             return search.run(app.initial_inputs("zzz", 0))
 
@@ -50,7 +50,7 @@ class TestLexerComparison:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=120),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=120),
             )
             return search.run(app.initial_inputs("zzz", 0))
 
@@ -68,7 +68,7 @@ class TestLexerComparison:
         def run():
             search = DirectedSearch.for_mode(
                 table_app.program, table_app.entry, table_app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=60),
             )
             return search.run(table_app.initial_inputs("zzz", 0))
 

@@ -21,7 +21,7 @@ class TestProtocolBench:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=80),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=80),
             )
             return search.run(app.initial_inputs())
 
@@ -47,7 +47,7 @@ class TestProtocolBench:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.UNSOUND, SearchConfig(max_runs=80),
+                ConcretizationMode.UNSOUND, SearchConfig.from_options(max_runs=80),
             )
             return search.run(app.initial_inputs())
 
@@ -63,7 +63,7 @@ class TestAuthBench:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=60),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=60),
             )
             return search.run(app.initial_inputs())
 
@@ -80,7 +80,7 @@ class TestCalculatorBench:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=200),
+                ConcretizationMode.HIGHER_ORDER, SearchConfig.from_options(max_runs=200),
             )
             return search.run(app.initial_inputs("zzzz", "qqqq", 1))
 

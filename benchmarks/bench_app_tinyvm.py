@@ -24,7 +24,7 @@ class TestTinyVmBench:
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
                 ConcretizationMode.HIGHER_ORDER,
-                SearchConfig(max_runs=200, stop_on_first_error=True),
+                SearchConfig.from_options(max_runs=200, stop_on_first_error=True),
             )
             return search.run(app.initial_inputs())
 
@@ -35,7 +35,7 @@ class TestTinyVmBench:
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.UNSOUND, SearchConfig(max_runs=100),
+                ConcretizationMode.UNSOUND, SearchConfig.from_options(max_runs=100),
             )
             return search.run(app.initial_inputs())
 
@@ -52,7 +52,7 @@ class TestFrontierAblation:
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
                 ConcretizationMode.HIGHER_ORDER,
-                SearchConfig(
+                SearchConfig.from_options(
                     max_runs=200, stop_on_first_error=True, frontier="fifo"
                 ),
             )
@@ -66,7 +66,7 @@ class TestFrontierAblation:
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
                 ConcretizationMode.HIGHER_ORDER,
-                SearchConfig(
+                SearchConfig.from_options(
                     max_runs=200, stop_on_first_error=True, frontier="coverage"
                 ),
             )

@@ -44,7 +44,7 @@ class TestRandomProgramThroughput:
                 search = DirectedSearch.for_mode(
                     rp.program, rp.entry, rp.natives(),
                     ConcretizationMode.HIGHER_ORDER,
-                    SearchConfig(max_runs=10),
+                    SearchConfig.from_options(max_runs=10),
                 )
                 result = search.run({p: 0 for p in rp.params})
                 total_runs += result.runs

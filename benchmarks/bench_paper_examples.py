@@ -37,7 +37,7 @@ class TestE0:
         def run():
             gen = StaticTestGenerator(
                 ex.program(), ex.entry, make_paper_natives(),
-                SearchConfig(max_runs=20),
+                SearchConfig.from_options(max_runs=20),
             )
             return gen.run(dict(ex.initial_inputs))
 

@@ -73,7 +73,7 @@ def test_scale_search_with_deep_constraint_chains(benchmark, depth):
     def run():
         search = DirectedSearch.for_mode(
             program, "main", NativeRegistry(),
-            ConcretizationMode.SOUND, SearchConfig(max_runs=depth + 5),
+            ConcretizationMode.SOUND, SearchConfig.from_options(max_runs=depth + 5),
         )
         return search.run({"x": 0, "y": 1000})
 

@@ -21,7 +21,7 @@ def run_example(name, mode, max_runs=40, use_antecedent=True):
         ex.entry,
         make_paper_natives(),
         mode,
-        SearchConfig(max_runs=max_runs),
+        SearchConfig.from_options(max_runs=max_runs),
         use_antecedent=use_antecedent,
     )
     return search.run(dict(ex.initial_inputs))

@@ -17,6 +17,7 @@ concretizations, search totals) aggregated across every experiment.
 
 import argparse
 import json
+import os
 import time
 
 from repro.apps import build_lexer_program, build_table_lexer_program, codes_to_word
@@ -36,7 +37,7 @@ JOBS = 1
 
 def _config(**kwargs):
     kwargs.setdefault("jobs", JOBS)
-    return SearchConfig(**kwargs)
+    return SearchConfig.from_options(**kwargs)
 
 
 MODES = [
@@ -237,6 +238,106 @@ def report():
     staged_apps_table()
 
 
+def campaign_bench(path, workers=2, repeats=3):
+    """PR 4 batch-engine benchmark: serial vs pooled, cold vs warm disk cache.
+
+    Runs the paper-example campaign (all strategies) four ways and writes
+    ``BENCH_pr4.json``:
+
+    - ``serial`` — ``workers=1``, no disk cache (the reference);
+    - ``pooled`` — ``workers=N`` process pool, no disk cache (must produce
+      the identical campaign digest);
+    - ``disk_cold`` — ``workers=1`` against an empty cache directory;
+    - ``disk_warm`` — ``workers=1`` against the now-populated directory.
+
+    Timings are medians over ``repeats`` interleaved rounds.  SMT seconds
+    come from the per-job metric snapshots, so the cold/warm comparison
+    isolates solver work from interpreter work.
+    """
+    import statistics
+    import tempfile
+
+    from repro.api import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.paper_suite(
+        strategies=["higher_order", "unsound", "sound"], max_runs=40
+    )
+
+    def measure(**kwargs):
+        start = time.perf_counter()
+        report = run_campaign(spec, **kwargs)
+        return time.perf_counter() - start, report
+
+    rounds = {"serial": [], "pooled": [], "disk_cold": [], "disk_warm": []}
+    reports = {}
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-diskcache-") as cache_dir:
+            for label, kwargs in (
+                ("serial", {"workers": 1}),
+                ("pooled", {"workers": workers}),
+                ("disk_cold", {"workers": 1, "cache_dir": cache_dir}),
+                ("disk_warm", {"workers": 1, "cache_dir": cache_dir}),
+            ):
+                seconds, rep = measure(**kwargs)
+                rounds[label].append((seconds, rep.smt_check_seconds))
+                reports[label] = rep
+
+    digests = {label: rep.campaign_digest for label, rep in reports.items()}
+    assert len(set(digests.values())) == 1, (
+        f"campaign digests diverged across configurations: {digests}"
+    )
+    warm_cache = reports["disk_warm"].cache_totals()
+    payload = {
+        "generator": "benchmarks/run_experiments.py --pr4",
+        "suite": "paper examples x (higher_order, unsound, sound)",
+        "jobs": len(reports["serial"].jobs),
+        "workers_pooled": workers,
+        "repeats": repeats,
+        "campaign_digest": digests["serial"],
+        "digests_identical": True,
+        "warm_disk_hits": warm_cache.get("disk_hits", 0),
+        "warm_disk_misses": warm_cache.get("disk_misses", 0),
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "on a single-core host the pooled configuration pays spawn "
+            "overhead without gaining parallelism; the determinism claim "
+            "(identical digest at every worker count) is the CI gate"
+        ),
+    }
+    for label, samples in rounds.items():
+        payload[f"{label}_wall_seconds"] = round(
+            statistics.median(s for s, _ in samples), 6
+        )
+        payload[f"{label}_smt_seconds"] = round(
+            statistics.median(m for _, m in samples), 6
+        )
+    payload["warm_vs_cold_smt_speedup"] = round(
+        payload["disk_cold_smt_seconds"]
+        / max(payload["disk_warm_smt_seconds"], 1e-9),
+        3,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"## PR 4 batch-engine benchmark ({payload['jobs']} jobs)")
+    print()
+    print("| configuration | wall (s) | SMT (s) |")
+    print("|---|---|---|")
+    for label in ("serial", "pooled", "disk_cold", "disk_warm"):
+        print(
+            f"| {label} | {payload[f'{label}_wall_seconds']:.3f} | "
+            f"{payload[f'{label}_smt_seconds']:.3f} |"
+        )
+    print()
+    print(
+        f"warm disk cache: {payload['warm_disk_hits']} hits / "
+        f"{payload['warm_disk_misses']} misses; SMT speedup "
+        f"{payload['warm_vs_cold_smt_speedup']}x; digest "
+        f"{payload['campaign_digest'][:16]}... identical everywhere"
+    )
+    print(f"BENCH JSON written to {path}")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -256,9 +357,27 @@ def main(argv=None):
         action="store_true",
         help="disable the normalized query cache (cold-solver baseline)",
     )
+    parser.add_argument(
+        "--pr4",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run the batch-engine benchmark (serial vs pooled, cold vs "
+            "warm disk cache) and write its BENCH JSON to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool size for the --pr4 pooled configuration",
+    )
     args = parser.parse_args(argv)
     global JOBS
     JOBS = args.jobs
+    if args.pr4 is not None:
+        campaign_bench(args.pr4, workers=args.workers)
+        return
     cache = None if args.no_cache else QueryCache()
     if args.json is None:
         with use_cache(cache):

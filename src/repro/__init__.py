@@ -22,12 +22,14 @@ scratch:
 - :mod:`repro.baselines` — blackbox random fuzzing and static test
   generation, the techniques the paper contrasts against.
 
+The supported library surface is the :mod:`repro.api` facade —
+:func:`generate_tests`, :func:`run_campaign`, :func:`replay` — documented
+in docs/API.md.  Deeper imports keep working but are not part of the
+compatibility promise.
+
 Quickstart::
 
-    from repro import (
-        parse_program, NativeRegistry, ConcretizationMode,
-        DirectedSearch, SearchConfig,
-    )
+    from repro import generate_tests, NativeRegistry
 
     src = '''
     int obscure(int x, int y) {
@@ -37,11 +39,10 @@ Quickstart::
     '''
     natives = NativeRegistry()
     natives.register("hash", lambda y: (y * 31 + 7) % 1000)
-    search = DirectedSearch.for_mode(
-        parse_program(src), "obscure", natives,
-        ConcretizationMode.HIGHER_ORDER, SearchConfig(max_runs=20),
+    result = generate_tests(
+        src, strategy="hotg", natives=natives, seed={"x": 33, "y": 42},
+        config={"max_runs": 20},
     )
-    result = search.run({"x": 33, "y": 42})
     assert result.found_error
 """
 
@@ -109,6 +110,16 @@ from .search import (
     SearchResult,
 )
 from .baselines import FuzzResult, RandomFuzzer, StaticTestGenerator
+from . import api
+from .api import (
+    CampaignReport,
+    CampaignSpec,
+    JobResult,
+    SearchJob,
+    generate_tests,
+    replay,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -173,5 +184,14 @@ __all__ = [
     "FuzzResult",
     "RandomFuzzer",
     "StaticTestGenerator",
+    # the stable facade (docs/API.md)
+    "api",
+    "generate_tests",
+    "run_campaign",
+    "replay",
+    "CampaignReport",
+    "CampaignSpec",
+    "JobResult",
+    "SearchJob",
     "__version__",
 ]

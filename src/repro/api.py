@@ -1,0 +1,229 @@
+"""The stable library surface of :mod:`repro`.
+
+Everything a library user needs lives behind three functions —
+
+- :func:`generate_tests` — one directed search over one program;
+- :func:`run_campaign` — a batch of searches across worker processes,
+  with an optional persistent solver cache (:mod:`repro.engine`);
+- :func:`replay` — re-execute a saved corpus and report outcome drift —
+
+plus the types they accept and return, re-exported here.  The CLI
+subcommands (``repro run``, ``repro campaign``, ``repro replay``) are
+thin wrappers over these same functions, so library and shell users hit
+identical code paths.
+
+Deep imports (``from repro.search.directed import DirectedSearch``, …)
+keep working, but only the names in :data:`__all__` here are covered by
+the compatibility promise documented in docs/API.md.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.generate_tests('''
+        int obscure(int x, int y) {
+            if (x == hash(y)) { error("reached"); }
+            return 0;
+        }
+    ''', strategy="hotg", seed={"x": 33, "y": 42})
+    assert result.found_error
+
+    report = api.run_campaign("paper", workers=4, cache_dir=".repro-cache")
+    print(report.summary(), report.campaign_digest)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Union
+
+from .engine.merger import CampaignReport, ResultMerger
+from .engine.planner import (
+    BatchPlanner,
+    CampaignSpec,
+    SearchJob,
+    resolve_strategy,
+)
+from .engine.runner import CampaignCheckpoint, JobResult, ProcessPoolRunner
+from .errors import ReproError
+from .lang.ast import Program
+from .lang.natives import NativeRegistry
+from .lang.parser import parse_program
+from .obs import Observability
+from .search.corpus import ReplayReport, TestCorpus
+from .search.directed import DirectedSearch, SearchConfig, SearchResult
+from .search.report import suite_digest
+from .symbolic.concolic import ConcretizationMode
+
+__all__ = [
+    # functions
+    "generate_tests",
+    "run_campaign",
+    "replay",
+    # campaign types
+    "BatchPlanner",
+    "CampaignReport",
+    "CampaignSpec",
+    "JobResult",
+    "ProcessPoolRunner",
+    "ResultMerger",
+    "SearchJob",
+    # search types
+    "SearchConfig",
+    "SearchResult",
+    # corpus types
+    "ReplayReport",
+    "TestCorpus",
+    # helpers
+    "suite_digest",
+]
+
+
+def _as_program(source: Union[str, Program]) -> Program:
+    return source if isinstance(source, Program) else parse_program(source)
+
+
+def _default_entry(program: Program, requested: Optional[str]) -> str:
+    if requested:
+        if requested not in program.functions:
+            raise ReproError(f"program has no function {requested!r}")
+        return requested
+    if "main" in program.functions:
+        return "main"
+    return next(iter(program.functions))
+
+
+def _default_natives() -> NativeRegistry:
+    from .apps.hashes import standard_registry
+
+    return standard_registry(width=4)
+
+
+def generate_tests(
+    source: Union[str, Program],
+    *,
+    entry: Optional[str] = None,
+    strategy: str = "hotg",
+    config: Optional[Union[SearchConfig, Dict[str, object]]] = None,
+    natives: Optional[NativeRegistry] = None,
+    seed: Optional[Dict[str, int]] = None,
+    obs: Optional[Observability] = None,
+    _search_hook: Optional[Callable[[DirectedSearch], None]] = None,
+) -> SearchResult:
+    """Run one directed search over ``source`` and return its result.
+
+    ``source`` is MiniC text (or an already-parsed :class:`Program`);
+    ``strategy`` is ``"hotg"`` (higher-order, the paper's contribution),
+    ``"dart"``/``"unsound"``, ``"sound"``, or ``"delayed"``; ``config``
+    is a :class:`SearchConfig` or a dict of its options (validated by
+    :meth:`SearchConfig.from_options`); ``natives`` defaults to the hash
+    zoo the CLI exposes; ``seed`` entries default to 0 per entry-point
+    parameter.
+    """
+    program = _as_program(source)
+    entry_fn = _default_entry(program, entry)
+    mode = ConcretizationMode(resolve_strategy(strategy))
+    if config is None:
+        search_config = SearchConfig()
+    elif isinstance(config, SearchConfig):
+        search_config = config.validate()
+    else:
+        search_config = SearchConfig.from_options(**config)
+    registry = natives if natives is not None else _default_natives()
+    given = dict(seed or {})
+    inputs = {
+        param: int(given.get(param, 0))
+        for param in program.function(entry_fn).params
+    }
+    search = DirectedSearch.for_mode(
+        program, entry_fn, registry, mode, search_config, obs=obs
+    )
+    if _search_hook is not None:
+        # private: lets the CLI reach the live search (sample store for
+        # reports) without widening the stable surface
+        _search_hook(search)
+    return search.run(inputs)
+
+
+def run_campaign(
+    spec: Union[str, CampaignSpec, Dict[str, object]],
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    checkpoint: Optional[str] = None,
+    fault_plan: str = "",
+    progress: Optional[Callable[[JobResult], None]] = None,
+) -> CampaignReport:
+    """Plan, execute, and merge a batch campaign of search jobs.
+
+    ``spec`` is a :class:`CampaignSpec`, a dict in the same shape, a path
+    to a ``.toml``/``.json`` spec file, or the string ``"paper"`` for the
+    built-in paper-example suite.  ``workers`` sizes the spawn-safe
+    process pool (1 = in-process); ``cache_dir`` attaches the persistent
+    solver cache shared by all workers and future runs; ``checkpoint``
+    names a directory where finished jobs are journaled so an interrupted
+    campaign resumes by skipping them.  The report's ``campaign_digest``
+    is byte-identical at every ``workers`` value.
+    """
+    if isinstance(spec, CampaignSpec):
+        campaign = spec
+    elif isinstance(spec, dict):
+        campaign = CampaignSpec(
+            programs=list(spec.get("programs", [])),
+            strategies=[str(s) for s in spec.get("strategies", ["higher_order"])],
+            max_runs=int(spec.get("max_runs", 60)),  # type: ignore[arg-type]
+            config=dict(spec.get("config", {})),
+        )
+    elif spec == "paper":
+        campaign = CampaignSpec.paper_suite()
+    else:
+        campaign = CampaignSpec.load(str(spec))
+    jobs = BatchPlanner().expand(campaign)
+    ckpt = CampaignCheckpoint(checkpoint) if checkpoint else None
+    pending = []
+    saved = []
+    for job in jobs:
+        done = ckpt.completed(job.key) if ckpt is not None else None
+        if done is not None:
+            saved.append(done)
+        else:
+            pending.append(job)
+    runner = ProcessPoolRunner(
+        workers=workers, cache_dir=cache_dir, fault_spec=fault_plan
+    )
+    start = time.perf_counter()
+
+    def _finished(result: JobResult) -> None:
+        if ckpt is not None:
+            ckpt.record(result)
+        if progress is not None:
+            progress(result)
+
+    fresh = runner.run(pending, progress=_finished)
+    elapsed = time.perf_counter() - start
+    return ResultMerger().merge(
+        saved + fresh,
+        seconds=elapsed,
+        killed_workers=runner.killed_workers,
+        resumed_jobs=len(saved),
+    )
+
+
+def replay(
+    corpus: Union[str, TestCorpus],
+    source: Union[str, Program],
+    *,
+    entry: Optional[str] = None,
+    natives: Optional[NativeRegistry] = None,
+) -> ReplayReport:
+    """Re-execute a saved corpus against ``source``; report outcome drift.
+
+    ``corpus`` is a :class:`TestCorpus` or a path to one saved as JSON.
+    A mismatch means the program's behaviour changed since the corpus was
+    recorded — a regression (or a fix) worth inspecting.
+    """
+    tests = corpus if isinstance(corpus, TestCorpus) else TestCorpus.load(corpus)
+    program = _as_program(source)
+    entry_fn = _default_entry(program, entry)
+    registry = natives if natives is not None else _default_natives()
+    return tests.replay(program, entry_fn, registry)

@@ -1,5 +1,10 @@
 """Command-line interface: test a MiniC program from the shell.
 
+Every subcommand is a thin wrapper over the :mod:`repro.api` facade
+(:func:`repro.api.generate_tests`, :func:`repro.api.run_campaign`,
+:func:`repro.api.replay`), so library and shell users hit identical code
+paths.
+
 Usage::
 
     python -m repro run program.minic --entry main --seed x=1,y=2
@@ -13,6 +18,8 @@ Usage::
     python -m repro modes program.minic --seed x=1,y=2   # compare engines
     python -m repro stats program.minic --seed x=1,y=2   # observability report
     python -m repro bench program.minic --jobs 2          # perf + suite digest
+    python -m repro campaign paper --workers 4            # batch engine
+    python -m repro campaign suite.toml --cache-dir .repro-cache
 
 Observability flags (``run`` and ``stats``):
 
@@ -38,10 +45,11 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from . import api
 from .apps.hashes import standard_registry
 from .baselines import RandomFuzzer
 from .errors import ReproError, SearchInterrupted
-from .faults import FaultPlan, NULL_PLAN, use_fault_plan
+from .faults import FaultPlan, NULL_PLAN, SITES, use_fault_plan
 from .lang import NativeRegistry, parse_program
 from .obs import (
     MetricsRegistry,
@@ -55,6 +63,25 @@ from .search.corpus import TestCorpus
 from .symbolic import ConcretizationMode
 
 __all__ = ["main", "build_parser"]
+
+
+def __getattr__(name: str):
+    # suite_digest lived here through PR 3; it is library functionality
+    # and moved to repro.search.report with the facade work
+    if name == "suite_digest":
+        import warnings
+
+        from .search.report import suite_digest
+
+        warnings.warn(
+            "repro.cli.suite_digest moved to repro.search.report.suite_digest "
+            "(also exported as repro.api.suite_digest); the repro.cli alias "
+            "will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return suite_digest
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _parse_seed(text: str) -> Dict[str, int]:
@@ -134,10 +161,16 @@ class _CliObservability:
             self.journal.close()
 
 
-def _print_profile(search, registry) -> None:
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def _print_profile_tables(obs, registry) -> None:
     print()
     print("== span profile ==")
-    print(search.obs.tracer.render_table())
+    print(obs.tracer.render_table())
     print()
     print("== metrics ==")
     print(registry.render_table())
@@ -146,6 +179,36 @@ def _print_profile(search, registry) -> None:
 def _fault_plan(args):
     spec = getattr(args, "fault_plan", None)
     return FaultPlan.parse(spec) if spec else NULL_PLAN
+
+
+def _query_cache(args, enabled: bool = True):
+    """The query cache the flags ask for (disk-backed with --cache-dir)."""
+    from .solver.cache import QueryCache
+
+    if not enabled:
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from .solver.diskcache import DiskCache
+
+        return QueryCache(disk=DiskCache(cache_dir))
+    return QueryCache()
+
+
+def _print_cache(cache) -> None:
+    if cache is None:
+        return
+    line = (
+        f"  cache: {cache.hits} hits / {cache.misses} misses "
+        f"(rate {cache.hit_rate:.1%})"
+    )
+    disk = cache.disk
+    if disk is not None:
+        line += (
+            f"; disk: {disk.hits} hits / {disk.misses} misses / "
+            f"{disk.stores} stores"
+        )
+    print(line)
 
 
 def _print_resilience(result) -> None:
@@ -163,32 +226,46 @@ def _print_resilience(result) -> None:
 
 
 def cmd_run(args) -> int:
+    from .solver.cache import use_cache
+
     program = _load(args.program)
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
-    mode = ConcretizationMode(args.mode)
     checkpoint_dir = args.checkpoint
     if args.resume and not checkpoint_dir:
         # resuming continues checkpointing into the same directory
         checkpoint_dir = args.resume
+    cache = _query_cache(args) if getattr(args, "cache_dir", None) else None
+    store = [None]
+
+    def _capture_store(search: DirectedSearch) -> None:
+        store[0] = search.store
+
     with _CliObservability(args) as cli_obs, use_fault_plan(_fault_plan(args)):
-        search = DirectedSearch.for_mode(
-            program, entry, _natives(), mode,
-            SearchConfig(
-                max_runs=args.max_runs,
-                frontier=args.frontier,
-                jobs=args.jobs,
-                checkpoint_dir=checkpoint_dir,
-                checkpoint_every=args.checkpoint_every,
-                resume_from=args.resume,
-            ),
-            obs=cli_obs.obs,
-        )
-        result = search.run(seed)
-    print(f"[{mode.value}] {result.summary()}")
+        with use_cache(cache) if cache is not None else _null_context():
+            result = api.generate_tests(
+                program,
+                entry=entry,
+                strategy=args.mode,
+                natives=_natives(),
+                seed=seed,
+                obs=cli_obs.obs,
+                config=SearchConfig.from_options(
+                    max_runs=args.max_runs,
+                    frontier=args.frontier,
+                    jobs=args.jobs,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume_from=args.resume,
+                ),
+                _search_hook=_capture_store,
+            )
+    print(f"[{args.mode}] {result.summary()}")
     for error in result.errors:
         print(f"  {error}")
     _print_resilience(result)
+    if cache is not None:
+        _print_cache(cache)
     if cli_obs.journal is not None:
         print(
             f"  trace: {cli_obs.journal.events_written} events written "
@@ -203,121 +280,97 @@ def cmd_run(args) -> int:
         from .search.report import render_report
 
         text = render_report(
-            result, program, entry, mode=mode.value, store=search.store,
+            result, program, entry, mode=args.mode, store=store[0],
             title=f"Testing session: {os.path.basename(args.program)}",
         )
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"  report written to {args.report}")
     if args.profile and cli_obs.registry is not None:
-        _print_profile(search, cli_obs.registry)
+        _print_profile_tables(cli_obs.obs, cli_obs.registry)
     return 1 if (args.expect_error and not result.found_error) else 0
 
 
 def cmd_stats(args) -> int:
     """Run a search with full observability and render the stats report."""
+    from .solver.cache import use_cache
+
     program = _load(args.program)
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
-    mode = ConcretizationMode(args.mode)
+    cache = _query_cache(args) if getattr(args, "cache_dir", None) else None
     with _CliObservability(args, force=True) as cli_obs, use_fault_plan(
         _fault_plan(args)
     ):
-        search = DirectedSearch.for_mode(
-            program, entry, _natives(), mode,
-            SearchConfig(max_runs=args.max_runs),
-            obs=cli_obs.obs,
-        )
-        result = search.run(seed)
-    print(f"[{mode.value}] {result.summary()}")
+        with use_cache(cache) if cache is not None else _null_context():
+            result = api.generate_tests(
+                program,
+                entry=entry,
+                strategy=args.mode,
+                natives=_natives(),
+                seed=seed,
+                obs=cli_obs.obs,
+                config=SearchConfig.from_options(max_runs=args.max_runs),
+            )
+    print(f"[{args.mode}] {result.summary()}")
     _print_resilience(result)
     print(
         f"  wall time: {result.time_total:.3f}s "
         f"(executing {result.time_executing:.3f}s, "
         f"generating {result.time_generating:.3f}s)"
     )
+    if cache is not None:
+        _print_cache(cache)
     if cli_obs.journal is not None:
         print(
             f"  trace: {cli_obs.journal.events_written} events written "
             f"to {args.trace}"
         )
-    _print_profile(search, cli_obs.registry)
+    _print_profile_tables(cli_obs.obs, cli_obs.registry)
     return 0
-
-
-def suite_digest(result) -> str:
-    """SHA-256 over the search's full genealogy of executed tests.
-
-    Covers inputs, parentage, flipped condition, divergence flag, and the
-    backend's note per execution, plus any contained crash buckets — two
-    searches printing the same digest generated byte-identical suites.
-    This is the determinism gate CI runs across ``--jobs`` values and
-    across checkpoint/resume boundaries.
-    """
-    import hashlib
-
-    digest = hashlib.sha256()
-    for record in result.executions:
-        digest.update(
-            repr(
-                (
-                    record.index,
-                    tuple(sorted(record.result.inputs.items())),
-                    record.parent,
-                    record.flipped_index,
-                    record.diverged,
-                    record.note,
-                )
-            ).encode("utf-8")
-        )
-    for crash in result.crashes:
-        digest.update(
-            repr(
-                (
-                    "crash",
-                    crash.bucket,
-                    crash.count,
-                    crash.run_index,
-                    tuple(sorted(crash.inputs.items())),
-                )
-            ).encode("utf-8")
-        )
-    return digest.hexdigest()
 
 
 def cmd_bench(args) -> int:
     """Timed search with perf counters and the deterministic suite digest."""
     import json as jsonlib
 
-    from .solver.cache import QueryCache, use_cache
+    from .search.report import suite_digest
+    from .solver.cache import use_cache
 
     program = _load(args.program)
     entry = _default_entry(program, args.entry)
     seed = _seed_for(program, entry, _parse_seed(args.seed))
-    mode = ConcretizationMode(args.mode)
-    cache = None if args.no_cache else QueryCache()
+    cache = _query_cache(args, enabled=not args.no_cache)
     registry = MetricsRegistry()
     obs = Observability(tracer=Tracer(), metrics=registry)
     with use_cache(cache), use_fault_plan(_fault_plan(args)):
-        search = DirectedSearch.for_mode(
-            program, entry, _natives(), mode,
-            SearchConfig(
+        result = api.generate_tests(
+            program,
+            entry=entry,
+            strategy=args.mode,
+            natives=_natives(),
+            seed=seed,
+            obs=obs,
+            config=SearchConfig.from_options(
                 max_runs=args.max_runs,
                 frontier=args.frontier,
                 jobs=args.jobs,
             ),
-            obs=obs,
         )
-        result = search.run(seed)
 
     snapshot = registry.snapshot()
     counters = snapshot["counters"]
     histograms = snapshot["histograms"]
+    disk = cache.disk if cache is not None else None
     payload = {
         "program": os.path.basename(args.program),
-        "mode": mode.value,
+        "mode": args.mode,
         "jobs": args.jobs,
         "cache": not args.no_cache,
+        "cache_dir": getattr(args, "cache_dir", None),
+        "disk_hits": disk.hits if disk is not None else 0,
+        "disk_misses": disk.misses if disk is not None else 0,
+        "disk_stores": disk.stores if disk is not None else 0,
         "runs": result.runs,
         "paths": result.distinct_paths,
         "errors": len(result.errors),
@@ -338,7 +391,7 @@ def cmd_bench(args) -> int:
         "session_pops": counters.get("solver.session.pop", 0),
         "suite_digest": suite_digest(result),
     }
-    print(f"[{mode.value}] {result.summary()}")
+    print(f"[{args.mode}] {result.summary()}")
     print(
         f"  wall={payload['wall_seconds']:.3f}s "
         f"solver={payload['smt_check_seconds']:.3f}s "
@@ -352,6 +405,11 @@ def cmd_bench(args) -> int:
         f"session: {payload['session_pushes']} pushes / "
         f"{payload['session_pops']} pops"
     )
+    if disk is not None:
+        print(
+            f"  disk cache: {disk.hits} hits / {disk.misses} misses / "
+            f"{disk.stores} stores ({getattr(args, 'cache_dir', None)})"
+        )
     print(f"  suite digest: {payload['suite_digest']}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -383,7 +441,7 @@ def cmd_modes(args) -> int:
     for mode in ConcretizationMode:
         search = DirectedSearch.for_mode(
             program, entry, _natives(), mode,
-            SearchConfig(max_runs=args.max_runs),
+            SearchConfig.from_options(max_runs=args.max_runs),
         )
         result = search.run(dict(seed))
         print(f"{mode.value:14s} {result.summary()}")
@@ -393,10 +451,9 @@ def cmd_modes(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    program = _load(args.program)
-    entry = _default_entry(program, args.entry)
-    corpus = TestCorpus.load(args.corpus)
-    report = corpus.replay(program, entry, _natives())
+    report = api.replay(
+        args.corpus, _load(args.program), entry=args.entry, natives=_natives()
+    )
     print(f"[replay] {report.summary()}")
     for entry_obj, returned, error in report.mismatches[:10]:
         print(
@@ -404,6 +461,52 @@ def cmd_replay(args) -> int:
             f"returned={returned} error={error}"
         )
     return 0 if report.all_match else 1
+
+
+def cmd_campaign(args) -> int:
+    """Batch engine: run a campaign of search jobs across worker processes."""
+    import json as jsonlib
+
+    def _progress(job) -> None:
+        if not args.quiet:
+            print(f"  [{job.key}] {job.summary()}")
+
+    report = api.run_campaign(
+        args.spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint=args.checkpoint,
+        fault_plan=args.fault_plan or "",
+        progress=_progress,
+    )
+    print(f"[campaign] {report.summary()}")
+    print(f"  wall time: {report.seconds:.3f}s (workers={args.workers})")
+    cache = report.cache_totals()
+    if cache:
+        print(
+            f"  cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses; "
+            f"disk: {cache.get('disk_hits', 0)} hits / "
+            f"{cache.get('disk_misses', 0)} misses / "
+            f"{cache.get('disk_stores', 0)} stores"
+        )
+    if report.crash_buckets:
+        for bucket, count in sorted(report.crash_buckets.items()):
+            print(f"  crash bucket [{bucket}] x{count}")
+    for job in report.failed_jobs:
+        print(f"  FAILED [{job.key}]: {job.error}")
+    print(f"  campaign digest: {report.campaign_digest}")
+    if args.corpus:
+        merged = report.merged_corpus()
+        with open(args.corpus, "w", encoding="utf-8") as handle:
+            jsonlib.dump(merged, handle, indent=2)
+        print(f"  corpus: {len(merged)} tests saved to {args.corpus}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            jsonlib.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  campaign payload written to {args.json}")
+    return 1 if (args.expect_errors and report.total_errors == 0) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -460,8 +563,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "deterministic fault injection, e.g. "
             "'solver:rate=0.2,seed=7;interp:at=3;kill:at=25' "
-            "(sites: solver, interp, worker, journal, checkpoint, kill)"
+            f"(sites: {', '.join(SITES)})"
         ),
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent on-disk solver query cache shared across runs",
     )
     run.add_argument(
         "--checkpoint",
@@ -511,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="deterministic fault injection (see 'run --fault-plan')",
     )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent on-disk solver query cache shared across runs",
+    )
     stats.set_defaults(fn=cmd_stats)
 
     bench = sub.add_parser(
@@ -548,7 +663,87 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="deterministic fault injection (see 'run --fault-plan')",
     )
+    bench.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent on-disk solver query cache shared across runs",
+    )
     bench.set_defaults(fn=cmd_bench)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "run a batch campaign of search jobs (programs x strategies) "
+            "across worker processes"
+        ),
+    )
+    campaign.add_argument(
+        "spec",
+        help=(
+            "campaign spec file (.toml or .json; see docs/API.md), or "
+            "'paper' for the built-in paper-example suite"
+        ),
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes running jobs (campaign digest is identical "
+            "at any value; default 1 = in-process)"
+        ),
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent on-disk solver query cache shared by all workers "
+            "and future campaign runs"
+        ),
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal finished jobs into DIR; a rerun pointed at the same "
+            "directory skips them"
+        ),
+    )
+    campaign.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection (see 'run --fault-plan'); the "
+            "'worker-proc' site kills a job's worker process"
+        ),
+    )
+    campaign.add_argument(
+        "--corpus",
+        default=None,
+        metavar="FILE",
+        help="save the merged campaign corpus (tests tagged by job) to FILE",
+    )
+    campaign.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the full campaign report as JSON",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines",
+    )
+    campaign.add_argument(
+        "--expect-errors",
+        action="store_true",
+        help="exit non-zero when the campaign finds no errors (for CI)",
+    )
+    campaign.set_defaults(fn=cmd_campaign)
 
     fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
     fuzz.add_argument("program")

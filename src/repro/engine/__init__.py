@@ -1,0 +1,43 @@
+"""The batch engine: multi-process campaigns over many search jobs.
+
+PR 2's frontier expander parallelized *within* one search, but Python
+threads cannot beat serial wall time on CPU-bound solver work; campaigns
+over many programs are embarrassingly parallel *across* searches, so this
+package distributes whole search jobs over worker **processes** instead —
+the standard recipe for scaling concolic testing to program suites.
+
+Three stages, composable or driven together by
+:func:`repro.api.run_campaign` / ``repro campaign``:
+
+- :class:`~repro.engine.planner.BatchPlanner` expands a declarative
+  :class:`~repro.engine.planner.CampaignSpec` (TOML/JSON file, the
+  built-in paper suite, or a literal) into sorted, picklable
+  :class:`~repro.engine.planner.SearchJob` units;
+- :class:`~repro.engine.runner.ProcessPoolRunner` executes them on a
+  spawn-safe process pool (``workers=1`` runs in-process), containing
+  worker deaths — injected via the ``worker-proc`` fault site or real —
+  by recomputing the job in the parent;
+- :class:`~repro.engine.merger.ResultMerger` folds the per-job results
+  into one :class:`~repro.engine.merger.CampaignReport` whose campaign
+  digest is byte-identical at every worker count.
+
+Jobs share a persistent :class:`~repro.solver.diskcache.DiskCache`
+(``--cache-dir``) read/write across processes and across runs; hits are
+answer-preserving, so warmth changes wall time, never suites.
+"""
+
+from .merger import CampaignReport, ResultMerger
+from .planner import BatchPlanner, CampaignSpec, SearchJob
+from .runner import CampaignCheckpoint, JobResult, ProcessPoolRunner, run_job
+
+__all__ = [
+    "BatchPlanner",
+    "CampaignCheckpoint",
+    "CampaignReport",
+    "CampaignSpec",
+    "JobResult",
+    "ProcessPoolRunner",
+    "ResultMerger",
+    "SearchJob",
+    "run_job",
+]

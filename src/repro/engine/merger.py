@@ -1,0 +1,210 @@
+"""Campaign result merging: fold per-job results into one report.
+
+The merge is **order-insensitive by construction**: whatever order the
+pool finished jobs in, :class:`ResultMerger` sorts them by job key before
+folding, so the merged corpus, crash buckets, ladder stats, aggregated
+metrics, and above all the **campaign digest** are byte-identical at any
+``--workers`` value — the same determinism discipline PR 2 established
+for ``--jobs`` and PR 3 for checkpoint/resume, one level up.
+
+The campaign digest is a SHA-256 over ``(key, ok, suite_digest | error)``
+per job in sorted-key order.  It deliberately excludes timings, cache
+counters, worker pids, and containment flags (a recomputed job after a
+worker kill yields the same suite, so the kill is invisible here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .runner import JobResult
+
+__all__ = ["CampaignReport", "ResultMerger"]
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign produced, in canonical (sorted-key) order."""
+
+    jobs: List[JobResult] = field(default_factory=list)
+    campaign_digest: str = ""
+    #: wall-clock seconds for the whole campaign (parent-side)
+    seconds: float = 0.0
+    #: worker-process kills contained during execution
+    killed_workers: int = 0
+    #: jobs served from a campaign checkpoint instead of re-run
+    resumed_jobs: int = 0
+    #: crash buckets aggregated across jobs: bucket -> total count
+    crash_buckets: Dict[str, int] = field(default_factory=dict)
+    #: degradation-ladder downgrades aggregated across jobs
+    downgrades: Dict[str, int] = field(default_factory=dict)
+    #: selected counters aggregated across job metric snapshots
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: total seconds inside SMT checks, summed over jobs
+    smt_check_seconds: float = 0.0
+
+    # -- derived totals ----------------------------------------------------
+
+    @property
+    def ok_jobs(self) -> List[JobResult]:
+        return [j for j in self.jobs if j.ok]
+
+    @property
+    def failed_jobs(self) -> List[JobResult]:
+        return [j for j in self.jobs if not j.ok]
+
+    @property
+    def total_runs(self) -> int:
+        return sum(j.runs for j in self.jobs)
+
+    @property
+    def total_paths(self) -> int:
+        return sum(j.paths for j in self.jobs)
+
+    @property
+    def total_errors(self) -> int:
+        return sum(len(j.errors) for j in self.jobs)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(j.divergences for j in self.jobs)
+
+    @property
+    def total_solver_calls(self) -> int:
+        return sum(j.solver_calls for j in self.jobs)
+
+    @property
+    def total_tests(self) -> int:
+        return sum(len(j.corpus) for j in self.jobs)
+
+    def cache_totals(self) -> Dict[str, int]:
+        """Query-cache counters summed across jobs."""
+        totals: Dict[str, int] = {}
+        for job in self.jobs:
+            for name, value in job.cache.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def merged_corpus(self) -> List[Dict[str, object]]:
+        """Every generated test, tagged with its job key, in key order."""
+        merged: List[Dict[str, object]] = []
+        for job in self.jobs:
+            for entry in job.corpus:
+                tagged = dict(entry)
+                tagged["job"] = job.key
+                merged.append(tagged)
+        return merged
+
+    def summary(self) -> str:
+        parts = [
+            f"jobs={len(self.jobs)}",
+            f"runs={self.total_runs}",
+            f"paths={self.total_paths}",
+            f"errors={self.total_errors}",
+            f"divergences={self.total_divergences}",
+            f"tests={self.total_tests}",
+        ]
+        if self.failed_jobs:
+            parts.append(f"failed={len(self.failed_jobs)}")
+        if self.crash_buckets:
+            parts.append(f"crash_buckets={len(self.crash_buckets)}")
+        if self.killed_workers:
+            parts.append(f"killed_workers={self.killed_workers}")
+        if self.resumed_jobs:
+            parts.append(f"resumed={self.resumed_jobs}")
+        return " ".join(parts)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form of the whole report (campaign --json)."""
+        cache = self.cache_totals()
+        return {
+            "campaign_digest": self.campaign_digest,
+            "jobs": [j.to_payload() for j in self.jobs],
+            "totals": {
+                "jobs": len(self.jobs),
+                "failed_jobs": len(self.failed_jobs),
+                "runs": self.total_runs,
+                "paths": self.total_paths,
+                "errors": self.total_errors,
+                "divergences": self.total_divergences,
+                "solver_calls": self.total_solver_calls,
+                "tests": self.total_tests,
+                "killed_workers": self.killed_workers,
+                "resumed_jobs": self.resumed_jobs,
+            },
+            "crash_buckets": dict(self.crash_buckets),
+            "downgrades": dict(self.downgrades),
+            "cache": cache,
+            "counters": dict(self.counters),
+            "smt_check_seconds": round(self.smt_check_seconds, 6),
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class ResultMerger:
+    """Fold job results into a :class:`CampaignReport` deterministically."""
+
+    #: counters lifted from job metric snapshots into the merged view
+    AGGREGATED_COUNTERS = (
+        "smt.checks",
+        "smt.sat",
+        "smt.unsat",
+        "solver.cache.hits",
+        "solver.cache.misses",
+        "solver.diskcache.hits",
+        "solver.diskcache.misses",
+        "solver.diskcache.stores",
+        "search.runs",
+        "search.divergences",
+        "search.errors",
+    )
+
+    def merge(
+        self,
+        results: Sequence[JobResult],
+        seconds: float = 0.0,
+        killed_workers: int = 0,
+        resumed_jobs: int = 0,
+    ) -> CampaignReport:
+        ordered = sorted(results, key=lambda r: r.key)
+        keys = [r.key for r in ordered]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate job keys in campaign: {dupes}")
+        report = CampaignReport(
+            jobs=list(ordered),
+            seconds=seconds,
+            killed_workers=killed_workers,
+            resumed_jobs=resumed_jobs,
+        )
+        digest = hashlib.sha256()
+        for job in ordered:
+            digest.update(
+                repr(
+                    (job.key, job.ok, job.suite_digest if job.ok else job.error)
+                ).encode("utf-8")
+            )
+            for crash in job.crashes:
+                bucket = str(crash.get("bucket", "?"))
+                report.crash_buckets[bucket] = report.crash_buckets.get(
+                    bucket, 0
+                ) + int(crash.get("count", 1))  # type: ignore[call-overload]
+            for rung, count in job.downgrades.items():
+                report.downgrades[rung] = report.downgrades.get(rung, 0) + count
+            counters = job.metrics.get("counters", {})
+            if isinstance(counters, dict):
+                for name in self.AGGREGATED_COUNTERS:
+                    value = counters.get(name)
+                    if value:
+                        report.counters[name] = report.counters.get(
+                            name, 0
+                        ) + int(value)  # type: ignore[call-overload]
+            histograms = job.metrics.get("histograms", {})
+            if isinstance(histograms, dict):
+                check = histograms.get("smt.check_seconds", {})
+                if isinstance(check, dict):
+                    report.smt_check_seconds += float(check.get("total", 0.0))
+        report.campaign_digest = digest.hexdigest()
+        return report

@@ -1,0 +1,511 @@
+"""Multi-process campaign execution: the worker pool and its job protocol.
+
+The unit of distribution is a :class:`~repro.engine.planner.SearchJob` —
+source text plus plain-data options — and the unit of result is a
+:class:`JobResult` — a picklable, JSON-able summary (counts, per-job suite
+digest, corpus entries, metrics snapshot).  Nothing heavier ever crosses a
+process boundary: workers rebuild :class:`~repro.solver.terms.TermManager`,
+interpreter, and search state privately from the job, which is what makes
+the pool **spawn-safe** (no reliance on fork sharing module state) and the
+output independent of worker count.
+
+Execution model
+---------------
+:class:`ProcessPoolRunner` with ``workers=1`` runs jobs in-process
+(no pool, no pickling) — the reference execution every other
+configuration must reproduce.  With ``workers>1`` it keeps a spawn-context
+:class:`~concurrent.futures.ProcessPoolExecutor`; each worker handles many
+jobs, installing a *fresh* per-job fault plan, metrics registry, and query
+cache so a job's behaviour is a pure function of the job (plus the shared
+on-disk cache, whose hits are answer-preserving by construction).  Results
+are merged in sorted job-key order regardless of completion order, so the
+campaign digest is byte-identical at every ``--workers`` value.
+
+Failure containment mirrors PR 3's worker-thread story one level up:
+
+- the ``worker-proc`` fault site fires in the parent at dispatch time,
+  standing in for a worker process killed mid-job; the job is recomputed
+  in-process and the kill counted (``engine.worker_kills``);
+- a genuinely broken pool (:class:`BrokenProcessPool`, pickling trouble)
+  downgrades the remaining jobs to in-process execution the same way;
+- a job whose *search* blows up returns ``ok=False`` with the error
+  message — one bad program never takes down the campaign.
+
+Campaign checkpointing (:class:`CampaignCheckpoint`) journals finished
+jobs to ``<dir>/jobs.jsonl``; a rerun pointed at the same directory skips
+them and feeds the saved results straight to the merger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ReproError, SearchInterrupted
+from ..faults import FaultPlan, NULL_PLAN, current_fault_plan, use_fault_plan
+from ..lang.natives import NativeRegistry
+from ..lang.parser import parse_program
+from ..obs.metrics import MetricsRegistry, default_registry, use_registry
+from ..search.corpus import TestCorpus
+from ..search.report import suite_digest
+from ..solver.cache import QueryCache, use_cache
+from ..symbolic.concolic import ConcretizationMode
+from .planner import SearchJob
+
+__all__ = [
+    "JobResult",
+    "ProcessPoolRunner",
+    "CampaignCheckpoint",
+    "build_natives",
+    "run_job",
+]
+
+#: JobResult payload schema version (checkpointed campaigns self-invalidate)
+JOB_RESULT_FORMAT = 1
+
+
+def build_natives(name: str) -> NativeRegistry:
+    """Resolve a job's natives-registry name inside the worker process."""
+    if name == "paper":
+        from ..apps.paper_programs import make_paper_natives
+
+        return make_paper_natives()
+    if name == "hashes":
+        from ..apps.hashes import standard_registry
+
+        return standard_registry(width=4)
+    if name == "none":
+        return NativeRegistry()
+    raise ReproError(f"unknown natives registry {name!r}")
+
+
+@dataclass
+class JobResult:
+    """Picklable summary of one finished (or failed) search job."""
+
+    key: str
+    ok: bool = True
+    #: error message of a job that failed outright (ok=False)
+    error: str = ""
+    #: the search ended on a (contained) SearchInterrupted
+    interrupted: bool = False
+    #: the job's worker process was killed and the job recomputed in-process
+    killed_worker: bool = False
+    worker_pid: int = 0
+    runs: int = 0
+    paths: int = 0
+    errors: List[str] = field(default_factory=list)
+    crashes: List[Dict[str, object]] = field(default_factory=list)
+    downgrades: Dict[str, int] = field(default_factory=dict)
+    deferred_flips: int = 0
+    abandoned_flips: int = 0
+    divergences: int = 0
+    solver_calls: int = 0
+    coverage: Optional[float] = None
+    suite_digest: str = ""
+    #: generated tests (TestCorpus entry dicts)
+    corpus: List[Dict[str, object]] = field(default_factory=list)
+    seconds: float = 0.0
+    generate_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    #: in-memory + disk query-cache counters for this job
+    cache: Dict[str, int] = field(default_factory=dict)
+    #: metrics registry snapshot (counters/gauges/histograms)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def error_count(self) -> int:
+        return len(self.errors)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able dict (campaign --json, checkpoint journal)."""
+        return {
+            "format": JOB_RESULT_FORMAT,
+            "key": self.key,
+            "ok": self.ok,
+            "error": self.error,
+            "interrupted": self.interrupted,
+            "killed_worker": self.killed_worker,
+            "worker_pid": self.worker_pid,
+            "runs": self.runs,
+            "paths": self.paths,
+            "errors": list(self.errors),
+            "crashes": [dict(c) for c in self.crashes],
+            "downgrades": dict(self.downgrades),
+            "deferred_flips": self.deferred_flips,
+            "abandoned_flips": self.abandoned_flips,
+            "divergences": self.divergences,
+            "solver_calls": self.solver_calls,
+            "coverage": self.coverage,
+            "suite_digest": self.suite_digest,
+            "corpus": [dict(e) for e in self.corpus],
+            "seconds": round(self.seconds, 6),
+            "generate_seconds": round(self.generate_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+            "cache": dict(self.cache),
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "JobResult":
+        if payload.get("format") != JOB_RESULT_FORMAT:
+            raise ReproError(
+                f"job result format {payload.get('format')!r} "
+                f"!= {JOB_RESULT_FORMAT}"
+            )
+        return cls(
+            key=str(payload["key"]),
+            ok=bool(payload["ok"]),
+            error=str(payload.get("error", "")),
+            interrupted=bool(payload.get("interrupted", False)),
+            killed_worker=bool(payload.get("killed_worker", False)),
+            worker_pid=int(payload.get("worker_pid", 0)),
+            runs=int(payload.get("runs", 0)),
+            paths=int(payload.get("paths", 0)),
+            errors=[str(e) for e in payload.get("errors", [])],
+            crashes=[dict(c) for c in payload.get("crashes", [])],
+            downgrades={
+                str(k): int(v)
+                for k, v in dict(payload.get("downgrades", {})).items()
+            },
+            deferred_flips=int(payload.get("deferred_flips", 0)),
+            abandoned_flips=int(payload.get("abandoned_flips", 0)),
+            divergences=int(payload.get("divergences", 0)),
+            solver_calls=int(payload.get("solver_calls", 0)),
+            coverage=payload.get("coverage"),  # type: ignore[arg-type]
+            suite_digest=str(payload.get("suite_digest", "")),
+            corpus=[dict(e) for e in payload.get("corpus", [])],
+            seconds=float(payload.get("seconds", 0.0)),
+            generate_seconds=float(payload.get("generate_seconds", 0.0)),
+            execute_seconds=float(payload.get("execute_seconds", 0.0)),
+            cache={
+                str(k): int(v) for k, v in dict(payload.get("cache", {})).items()
+            },
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+    def summary(self) -> str:
+        if not self.ok:
+            return f"FAILED: {self.error}"
+        extra = ""
+        if self.crashes:
+            extra += f" crashes={len(self.crashes)}"
+        if self.interrupted:
+            extra += " interrupted"
+        if self.killed_worker:
+            extra += " (worker killed; recomputed)"
+        cov = f"{self.coverage:.0%}" if self.coverage is not None else "n/a"
+        return (
+            f"runs={self.runs} paths={self.paths} errors={len(self.errors)} "
+            f"divergences={self.divergences} coverage={cov}" + extra
+        )
+
+
+def _job_cache(cache_dir: Optional[str]) -> QueryCache:
+    """A fresh per-job memory cache, disk-backed when a directory is given."""
+    if cache_dir:
+        from ..solver.diskcache import DiskCache
+
+        return QueryCache(disk=DiskCache(cache_dir))
+    return QueryCache()
+
+
+def run_job(
+    job: SearchJob,
+    cache_dir: Optional[str] = None,
+    fault_spec: str = "",
+) -> JobResult:
+    """Execute one job to completion in the current process.
+
+    Importable at module top level (the process pool pickles it by
+    reference).  Installs job-private ambient state — fresh fault plan,
+    fresh metrics registry, fresh memory cache over the shared disk cache —
+    so the result is a pure function of ``(job, disk cache contents)``,
+    and disk-cache hits are answer-preserving by the cache's contract.
+    """
+    from ..search.directed import DirectedSearch, SearchConfig
+
+    out = JobResult(key=job.key, worker_pid=os.getpid())
+    plan = FaultPlan.parse(fault_spec) if fault_spec else NULL_PLAN
+    registry = MetricsRegistry()
+    cache = _job_cache(cache_dir)
+    start = time.perf_counter()
+    try:
+        program = parse_program(job.source)
+        natives = build_natives(job.natives)
+        mode = ConcretizationMode(job.strategy)
+        config = SearchConfig.from_options(**job.config)
+        with use_fault_plan(plan), use_registry(registry), use_cache(cache):
+            search = DirectedSearch.for_mode(
+                program, job.entry, natives, mode, config
+            )
+            try:
+                result = search.run(dict(job.seed))
+            except SearchInterrupted as exc:
+                result = getattr(exc, "partial_result", None)
+                if result is None:
+                    raise
+    except Exception as exc:  # noqa: BLE001 - contained per-job failure
+        out.ok = False
+        out.error = f"{type(exc).__name__}: {exc}"
+        out.seconds = time.perf_counter() - start
+        return out
+    out.seconds = time.perf_counter() - start
+    out.interrupted = result.interrupted
+    out.runs = result.runs
+    out.paths = result.distinct_paths
+    out.errors = [str(e) for e in result.errors]
+    out.crashes = [
+        {
+            "bucket": c.bucket,
+            "count": c.count,
+            "message": c.message,
+            "run_index": c.run_index,
+        }
+        for c in result.crashes
+    ]
+    out.downgrades = dict(result.downgrades)
+    out.deferred_flips = result.deferred_flips
+    out.abandoned_flips = result.abandoned_flips
+    out.divergences = result.divergences
+    out.solver_calls = result.solver_calls
+    out.coverage = (
+        round(result.coverage.ratio(), 4) if result.coverage else None
+    )
+    out.suite_digest = suite_digest(result)
+    out.generate_seconds = result.time_generating
+    out.execute_seconds = result.time_executing
+    corpus = TestCorpus()
+    corpus.add_from_search(result)
+    out.corpus = [
+        {
+            "inputs": entry.input_dict(),
+            "returned": entry.returned,
+            "error": entry.error,
+            "error_message": entry.error_message,
+        }
+        for entry in corpus
+    ]
+    disk = cache.disk
+    out.cache = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "disk_hits": disk.hits if disk is not None else 0,
+        "disk_misses": disk.misses if disk is not None else 0,
+        "disk_stores": disk.stores if disk is not None else 0,
+        "disk_skipped": disk.skipped if disk is not None else 0,
+    }
+    out.metrics = registry.snapshot()
+    return out
+
+
+def _ensure_importable_by_children() -> None:
+    """Make sure spawned workers can import this package.
+
+    Spawned children re-import :mod:`repro` from scratch; if the parent
+    found it through a ``sys.path`` entry that is not in ``PYTHONPATH``
+    (the usual ``PYTHONPATH=src`` dev setup covers it, an in-process
+    ``sys.path.insert`` does not), export that entry so the child's
+    interpreter sees it too.
+    """
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = (
+            os.pathsep.join([package_root] + parts) if parts else package_root
+        )
+
+
+class ProcessPoolRunner:
+    """Run a batch of jobs across worker processes (or in-process).
+
+    Results come back in the *given job order* whatever the completion
+    order; downstream merging re-sorts by key anyway.  ``progress`` (if
+    given) is called with each finished :class:`JobResult` as it lands,
+    in completion order — display only, never ordering-relevant.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        fault_spec: str = "",
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1 (got {workers})")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.fault_spec = fault_spec
+        #: worker-process kills contained so far (fault-injected or real)
+        self.killed_workers = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[SearchJob],
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        jobs = list(jobs)
+        # dispatch-time fault decisions, one per job in job order: the
+        # firing pattern is a pure function of the plan, independent of
+        # pool size, so containment cannot perturb the campaign digest
+        plan = (
+            FaultPlan.parse(self.fault_spec)
+            if self.fault_spec
+            else current_fault_plan()
+        )
+        killed = [plan.should_fire("worker-proc") for _ in jobs]
+        if self.workers == 1 or len(jobs) <= 1:
+            results = [
+                self._run_contained(job, was_killed)
+                for job, was_killed in zip(jobs, killed)
+            ]
+            if progress is not None:
+                for result in results:
+                    progress(result)
+            return results
+        return self._run_pooled(jobs, killed, progress)
+
+    def _run_contained(self, job: SearchJob, was_killed: bool) -> JobResult:
+        """In-process execution (reference path and containment fallback)."""
+        result = run_job(job, self.cache_dir, self.fault_spec)
+        if was_killed:
+            result.killed_worker = True
+            self._count_kill()
+        return result
+
+    def _run_pooled(
+        self,
+        jobs: List[SearchJob],
+        killed: List[bool],
+        progress: Optional[Callable[[JobResult], None]],
+    ) -> List[JobResult]:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        import multiprocessing as mp
+
+        _ensure_importable_by_children()
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: Dict[object, int] = {}
+        pool_broken = False
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs)),
+            mp_context=mp.get_context("spawn"),
+        )
+        try:
+            for index, job in enumerate(jobs):
+                if killed[index]:
+                    # the injected kill: this job's worker "died"; recompute
+                    # in the parent, exactly like a real dead worker below
+                    results[index] = self._run_contained(job, True)
+                    if progress is not None:
+                        progress(results[index])
+                    continue
+                future = executor.submit(
+                    run_job, job, self.cache_dir, self.fault_spec
+                )
+                pending[future] = index
+            from concurrent.futures import as_completed
+
+            for future in as_completed(list(pending)):
+                index = pending[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    break
+                except Exception:  # noqa: BLE001 - per-future containment
+                    result = self._recompute_after_kill(jobs[index])
+                results[index] = result
+                if progress is not None:
+                    progress(result)
+        finally:
+            executor.shutdown(wait=not pool_broken, cancel_futures=True)
+        if pool_broken or any(r is None for r in results):
+            # a worker (or the whole pool) died for real: finish the
+            # remaining jobs in-process — same results, slower wall clock
+            for index, result in enumerate(results):
+                if result is None:
+                    recomputed = self._recompute_after_kill(jobs[index])
+                    results[index] = recomputed
+                    if progress is not None:
+                        progress(recomputed)
+        return [r for r in results if r is not None]
+
+    def _recompute_after_kill(self, job: SearchJob) -> JobResult:
+        self._count_kill()
+        result = run_job(job, self.cache_dir, self.fault_spec)
+        result.killed_worker = True
+        return result
+
+    def _count_kill(self) -> None:
+        self.killed_workers += 1
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("engine.worker_kills").inc()
+
+
+class CampaignCheckpoint:
+    """Per-job completion journal for interrupt-safe campaigns.
+
+    One JSONL line per finished job under ``<dir>/jobs.jsonl``.  Loading
+    tolerates truncated tails (a write cut short by the interruption that
+    the checkpoint exists to survive) and stale formats by skipping them.
+    """
+
+    FILENAME = "jobs.jsonl"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, self.FILENAME)
+        self._done: Dict[str, JobResult] = {}
+        self._load()
+        self._broken = False
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        result = JobResult.from_payload(json.loads(line))
+                    except (json.JSONDecodeError, ReproError, KeyError, ValueError):
+                        continue
+                    self._done[result.key] = result
+        except FileNotFoundError:
+            pass
+
+    def completed(self, key: str) -> Optional[JobResult]:
+        """The saved result for ``key``, if this campaign already ran it."""
+        return self._done.get(key)
+
+    def record(self, result: JobResult) -> None:
+        """Append one finished job (flushed immediately; best effort)."""
+        if self._broken:
+            return
+        self._done[result.key] = result
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(result.to_payload(), sort_keys=True))
+                handle.write("\n")
+                handle.flush()
+        except OSError:
+            # same policy as the run journal: count once, then disable
+            self._broken = True
+            registry = default_registry()
+            if registry.enabled:
+                registry.counter("engine.checkpoint_errors").inc()
+
+    def __len__(self) -> int:
+        return len(self._done)

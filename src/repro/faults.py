@@ -16,6 +16,9 @@ interp     :class:`~repro.errors.StepBudgetExceeded` at the start of a
            concolic run — exercises crash containment
 worker     ``RuntimeError`` inside a speculative flip plan on a worker
            thread — exercises the serial-recompute fallback
+worker-proc ``RuntimeError`` standing in for a killed campaign worker
+           *process* — exercises the batch engine's in-process recompute
+           (see :mod:`repro.engine.runner`)
 journal    ``OSError`` on a journal write — exercises sink disabling
 checkpoint ``OSError`` on a checkpoint write — exercises checkpoint
            disabling
@@ -69,7 +72,15 @@ __all__ = [
 ]
 
 #: the injection sites wired through the engine
-SITES = ("solver", "interp", "worker", "journal", "checkpoint", "kill")
+SITES = (
+    "solver",
+    "interp",
+    "worker",
+    "worker-proc",
+    "journal",
+    "checkpoint",
+    "kill",
+)
 
 
 class FaultRule:
@@ -123,7 +134,7 @@ def _fault_error(site: str) -> Exception:
         return ResourceLimitError(marker)
     if site == "interp":
         return StepBudgetExceeded(marker)
-    if site == "worker":
+    if site in ("worker", "worker-proc"):
         return RuntimeError(marker)
     if site in ("journal", "checkpoint"):
         return OSError(marker)

@@ -20,6 +20,7 @@ from .directed import (
 )
 from .minimize import MinimizationResult, minimize_error_inputs
 from .parallel import FrontierExpander
+from .report import render_report, suite_digest
 
 __all__ = [
     "CheckpointWriter",
@@ -42,4 +43,6 @@ __all__ = [
     "ExecutionRecord",
     "SearchConfig",
     "SearchResult",
+    "render_report",
+    "suite_digest",
 ]

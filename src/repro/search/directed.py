@@ -115,6 +115,90 @@ class SearchConfig:
     #: budget multiplier for the end-of-search retry of deferred flips
     defer_scale: float = 4.0
 
+    #: legacy keyword spellings accepted (once, with a warning) by
+    #: :meth:`from_options` — kept so pre-facade call sites don't break
+    _OPTION_ALIASES = {
+        "stop_on_error": "stop_on_first_error",
+        "threads": "jobs",
+        "frontier_policy": "frontier",
+        "checkpoint": "checkpoint_dir",
+        "resume": "resume_from",
+    }
+
+    @classmethod
+    def from_options(cls, **options: object) -> "SearchConfig":
+        """Build a validated config from keyword options.
+
+        This is the one supported constructor for callers outside the
+        package (the :mod:`repro.api` facade, the CLI, and the benchmark
+        drivers all go through it): unknown keys raise :class:`TypeError`
+        instead of being silently dropped, values are range-checked, and
+        the legacy keyword aliases that drifted into ad-hoc call sites
+        (``stop_on_error``, ``threads``, ``frontier_policy``,
+        ``checkpoint``, ``resume``) keep working behind a one-shot
+        :class:`DeprecationWarning`.
+        """
+        import warnings
+
+        known = {f.name for f in dataclasses.fields(cls) if not f.name.startswith("_")}
+        resolved: Dict[str, object] = {}
+        for key, value in options.items():
+            canonical = cls._OPTION_ALIASES.get(key, key)
+            if canonical != key:
+                if key not in _WARNED_ALIASES:
+                    _WARNED_ALIASES.add(key)
+                    warnings.warn(
+                        f"SearchConfig option {key!r} is deprecated; "
+                        f"use {canonical!r}",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+            if canonical not in known:
+                raise TypeError(
+                    f"unknown SearchConfig option {key!r} "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+            if canonical in resolved:
+                raise TypeError(
+                    f"SearchConfig option {canonical!r} given twice "
+                    f"(alias collision)"
+                )
+            resolved[canonical] = value
+        config = cls(**resolved)  # type: ignore[arg-type]
+        config.validate()
+        return config
+
+    def validate(self) -> "SearchConfig":
+        """Range-check the tunables; returns self for chaining."""
+        if self.max_runs < 1:
+            raise ReproError(f"max_runs must be >= 1 (got {self.max_runs})")
+        if self.jobs < 1:
+            raise ReproError(f"jobs must be >= 1 (got {self.jobs})")
+        if self.frontier not in ("fifo", "coverage"):
+            raise ReproError(
+                f"frontier must be 'fifo' or 'coverage' (got {self.frontier!r})"
+            )
+        if self.checkpoint_every < 1:
+            raise ReproError(
+                f"checkpoint_every must be >= 1 (got {self.checkpoint_every})"
+            )
+        if self.max_conditions_per_run < 1:
+            raise ReproError(
+                "max_conditions_per_run must be >= 1 "
+                f"(got {self.max_conditions_per_run})"
+            )
+        if self.max_multistep_probes < 0:
+            raise ReproError(
+                f"max_multistep_probes must be >= 0 (got {self.max_multistep_probes})"
+            )
+        if self.defer_scale <= 0:
+            raise ReproError(f"defer_scale must be > 0 (got {self.defer_scale})")
+        return self
+
+
+#: aliases already warned about this process (one warning per spelling)
+_WARNED_ALIASES: Set[str] = set()
+
 
 @dataclass
 class ErrorReport:

@@ -77,16 +77,28 @@ class QueryCache:
 
     The lock only guards the OrderedDict bookkeeping; entries themselves
     are immutable, so readers never see a half-written result.
+
+    With ``disk`` set (a :class:`~repro.solver.diskcache.DiskCache`), the
+    cache gains a persistent second tier: a memory miss falls through to
+    disk — a disk hit is promoted into memory and counted as a hit — and
+    every store is written through, so the directory accumulates verdicts
+    across processes and runs.  The disk tier serves the same canonical
+    entries the memory tier does, so attaching it cannot change any
+    generated suite, only how often the solver actually runs.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096, disk: Optional[object] = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
+        #: optional persistent tier (duck-typed: lookup/store like ours)
+        self.disk = disk
         self._entries: "OrderedDict[Tuple[object, ...], CachedResult]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: memory misses answered by the disk tier (subset of ``hits``)
+        self.disk_hits = 0
 
     def lookup(self, key: Tuple[object, ...]) -> Optional[CachedResult]:
         """Return the entry for ``key`` (refreshing its LRU position)."""
@@ -94,7 +106,21 @@ class QueryCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+        from_disk = False
+        if entry is None and self.disk is not None:
+            entry = self.disk.lookup(key)
+            if entry is not None:
+                from_disk = True
+                with self._lock:
+                    self._entries[key] = entry
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+        with self._lock:
+            if entry is not None:
                 self.hits += 1
+                if from_disk:
+                    self.disk_hits += 1
             else:
                 self.misses += 1
         registry = default_registry()
@@ -111,16 +137,20 @@ class QueryCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+        if self.disk is not None:
+            self.disk.store(key, entry)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def clear(self) -> None:
+        """Drop the memory tier and reset counters (disk files persist)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
 
     @property
     def hit_rate(self) -> float:

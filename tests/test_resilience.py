@@ -8,7 +8,8 @@ import os
 
 import pytest
 
-from repro.cli import main, suite_digest
+from repro.cli import main
+from repro.search.report import suite_digest
 from repro.core import SampleStore
 from repro.errors import (
     FaultPlanError,
