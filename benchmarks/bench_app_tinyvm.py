@@ -2,7 +2,7 @@
 
 The hardest target in the suite: a valid 6-byte CRC must be forged while
 simultaneously synthesizing an opcode sequence and a data value.  Also
-hosts the frontier-scheduling ablation (fifo vs coverage-guided).
+hosts the frontier-scheduler ablation (dfs vs generational vs coverage).
 """
 
 import pytest
@@ -43,31 +43,18 @@ class TestTinyVmBench:
         assert not result.found_error
 
 
-@pytest.mark.benchmark(group="ABL-frontier")
-class TestFrontierAblation:
-    """fifo vs coverage-guided scheduling to the first TinyVM bug."""
+@pytest.mark.benchmark(group="ABL-scheduler")
+class TestSchedulerAblation:
+    """dfs vs generational vs coverage scheduling to the first TinyVM bug."""
 
-    def test_abl_frontier_fifo(self, benchmark, app):
+    @pytest.mark.parametrize("scheduler", ["dfs", "generational", "coverage"])
+    def test_abl_scheduler(self, benchmark, app, scheduler):
         def run():
             search = DirectedSearch.for_mode(
                 app.program, app.entry, app.fresh_natives(),
                 ConcretizationMode.HIGHER_ORDER,
                 SearchConfig.from_options(
-                    max_runs=200, stop_on_first_error=True, frontier="fifo"
-                ),
-            )
-            return search.run(app.initial_inputs())
-
-        result = benchmark.pedantic(run, rounds=2, iterations=1)
-        assert result.found_error
-
-    def test_abl_frontier_coverage(self, benchmark, app):
-        def run():
-            search = DirectedSearch.for_mode(
-                app.program, app.entry, app.fresh_natives(),
-                ConcretizationMode.HIGHER_ORDER,
-                SearchConfig.from_options(
-                    max_runs=200, stop_on_first_error=True, frontier="coverage"
+                    max_runs=200, stop_on_first_error=True, scheduler=scheduler
                 ),
             )
             return search.run(app.initial_inputs())

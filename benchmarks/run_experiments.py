@@ -338,6 +338,121 @@ def campaign_bench(path, workers=2, repeats=3):
     print(f"BENCH JSON written to {path}")
 
 
+def scheduler_bench(path, repeats=3):
+    """PR 5 frontier-scheduler benchmark: runs-to-coverage-plateau per policy.
+
+    Runs three benchmark apps (lexer, tinyvm, protocol) under every
+    frontier scheduler (dfs / generational / coverage) for ``repeats``
+    rounds and writes ``BENCH_pr5.json``:
+
+    - ``runs_to_plateau`` — first run index at which the search covers
+      the app's *reachable plateau*: the maximum branch-outcome count any
+      scheduler reaches within the app's run budget.  (None of these apps
+      reaches 100% of static outcomes — some sides are infeasible — so
+      the plateau is the honest "full coverage" reference.)
+    - ``wall_seconds`` — median end-to-end search time.
+
+    Schedulers are deterministic, so runs_to_plateau is identical across
+    rounds; rounds exist to stabilize the wall-clock medians.  The gate:
+    the coverage scheduler must reach the plateau on at least one app in
+    fewer runs than dfs.
+    """
+    import statistics
+
+    from repro.apps import (
+        build_lexer_program,
+        build_protocol_app,
+        build_tinyvm_app,
+    )
+    from repro.search.scheduler import scheduler_names
+
+    apps = {
+        "lexer": (build_lexer_program, lambda a: a.initial_inputs("zzz", 0), 120),
+        "tinyvm": (build_tinyvm_app, lambda a: a.initial_inputs(), 200),
+        "protocol": (build_protocol_app, lambda a: a.initial_inputs(), 80),
+    }
+    results = {}
+    for app_name, (build, seed_fn, max_runs) in apps.items():
+        per = {}
+        for scheduler in scheduler_names():
+            walls = []
+            coverage = None
+            runs = 0
+            for _ in range(repeats):
+                app = build()
+                config = _config(max_runs=max_runs, scheduler=scheduler)
+                start = time.perf_counter()
+                with use_cache(QueryCache()):
+                    res = DirectedSearch.for_mode(
+                        app.program, app.entry, app.fresh_natives(),
+                        ConcretizationMode.HIGHER_ORDER, config,
+                    ).run(dict(seed_fn(app)))
+                walls.append(time.perf_counter() - start)
+                coverage, runs = res.coverage, res.runs
+            per[scheduler] = {
+                "covered": len(coverage.covered),
+                "total_outcomes": coverage.total_outcomes,
+                "total_runs": runs,
+                "history": list(coverage.history),
+                "wall_seconds": round(statistics.median(walls), 6),
+            }
+        plateau = max(row["covered"] for row in per.values())
+        for row in per.values():
+            row["runs_to_plateau"] = next(
+                (r for r, n in row["history"] if n >= plateau), None
+            )
+            del row["history"]
+        results[app_name] = {
+            "plateau": plateau,
+            "max_runs": max_runs,
+            "schedulers": per,
+        }
+
+    coverage_wins = [
+        name
+        for name, data in results.items()
+        if data["schedulers"]["coverage"]["runs_to_plateau"] is not None
+        and data["schedulers"]["dfs"]["runs_to_plateau"] is not None
+        and data["schedulers"]["coverage"]["runs_to_plateau"]
+        < data["schedulers"]["dfs"]["runs_to_plateau"]
+    ]
+    assert coverage_wins, (
+        "the coverage scheduler reached no app's plateau in fewer runs "
+        f"than dfs: {results}"
+    )
+    payload = {
+        "generator": "benchmarks/run_experiments.py --pr5",
+        "repeats": repeats,
+        "plateau_definition": (
+            "max branch-outcome count any scheduler reaches within the "
+            "app's run budget (100% of static outcomes is unreachable: "
+            "some branch sides are infeasible)"
+        ),
+        "coverage_beats_dfs_on": coverage_wins,
+        "apps": results,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("## PR 5 frontier-scheduler benchmark")
+    print()
+    print("| app | scheduler | covered | runs to plateau | wall (s) |")
+    print("|---|---|---|---|---|")
+    for app_name, data in results.items():
+        for scheduler, row in data["schedulers"].items():
+            hit = row["runs_to_plateau"]
+            print(
+                f"| {app_name} | {scheduler} | "
+                f"{row['covered']}/{row['total_outcomes']} | "
+                f"{hit if hit is not None else '—'} | "
+                f"{row['wall_seconds']:.3f} |"
+            )
+    print()
+    print(f"coverage beats dfs to the plateau on: {', '.join(coverage_wins)}")
+    print(f"BENCH JSON written to {path}")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -372,11 +487,24 @@ def main(argv=None):
         default=2,
         help="process-pool size for the --pr4 pooled configuration",
     )
+    parser.add_argument(
+        "--pr5",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run the frontier-scheduler benchmark (runs-to-coverage-"
+            "plateau per policy on the benchmark apps) and write its "
+            "BENCH JSON to FILE"
+        ),
+    )
     args = parser.parse_args(argv)
     global JOBS
     JOBS = args.jobs
     if args.pr4 is not None:
         campaign_bench(args.pr4, workers=args.workers)
+        return
+    if args.pr5 is not None:
+        scheduler_bench(args.pr5)
         return
     cache = None if args.no_cache else QueryCache()
     if args.json is None:

@@ -152,6 +152,8 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     checkpoint: Optional[str] = None,
     fault_plan: str = "",
+    scheduler: Optional[str] = None,
+    jobs: Optional[int] = None,
     progress: Optional[Callable[[JobResult], None]] = None,
 ) -> CampaignReport:
     """Plan, execute, and merge a batch campaign of search jobs.
@@ -162,8 +164,11 @@ def run_campaign(
     process pool (1 = in-process); ``cache_dir`` attaches the persistent
     solver cache shared by all workers and future runs; ``checkpoint``
     names a directory where finished jobs are journaled so an interrupted
-    campaign resumes by skipping them.  The report's ``campaign_digest``
-    is byte-identical at every ``workers`` value.
+    campaign resumes by skipping them.  ``scheduler`` overrides the
+    spec's scheduler list with one frontier scheduler for every job (see
+    :mod:`repro.search.scheduler`); ``jobs`` sets the per-search
+    speculative planning threads.  The report's ``campaign_digest`` is
+    byte-identical at every ``workers`` (and ``jobs``) value.
     """
     if isinstance(spec, CampaignSpec):
         campaign = spec
@@ -171,6 +176,7 @@ def run_campaign(
         campaign = CampaignSpec(
             programs=list(spec.get("programs", [])),
             strategies=[str(s) for s in spec.get("strategies", ["higher_order"])],
+            schedulers=[str(s) for s in spec.get("schedulers", ["dfs"])],
             max_runs=int(spec.get("max_runs", 60)),  # type: ignore[arg-type]
             config=dict(spec.get("config", {})),
         )
@@ -178,11 +184,22 @@ def run_campaign(
         campaign = CampaignSpec.paper_suite()
     else:
         campaign = CampaignSpec.load(str(spec))
-    jobs = BatchPlanner().expand(campaign)
+    if scheduler is not None or jobs is not None:
+        # overrides never mutate the caller's spec object
+        campaign = CampaignSpec(
+            programs=list(campaign.programs),
+            strategies=list(campaign.strategies),
+            schedulers=[scheduler] if scheduler is not None else list(
+                campaign.schedulers
+            ),
+            max_runs=campaign.max_runs,
+            config=dict(campaign.config, **({"jobs": jobs} if jobs else {})),
+        )
+    planned_jobs = BatchPlanner().expand(campaign)
     ckpt = CampaignCheckpoint(checkpoint) if checkpoint else None
     pending = []
     saved = []
-    for job in jobs:
+    for job in planned_jobs:
         done = ckpt.completed(job.key) if ckpt is not None else None
         if done is not None:
             saved.append(done)

@@ -1,0 +1,150 @@
+"""``repro campaign`` — batch engine across worker processes."""
+
+from __future__ import annotations
+
+from .. import api
+from ..search.scheduler import scheduler_names
+
+__all__ = ["register", "cmd_campaign"]
+
+
+def cmd_campaign(args) -> int:
+    """Batch engine: run a campaign of search jobs across worker processes."""
+    import json as jsonlib
+
+    def _progress(job) -> None:
+        if not args.quiet:
+            print(f"  [{job.key}] {job.summary()}")
+
+    report = api.run_campaign(
+        args.spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint=args.checkpoint,
+        fault_plan=args.fault_plan or "",
+        scheduler=args.scheduler,
+        jobs=args.jobs,
+        progress=_progress,
+    )
+    print(f"[campaign] {report.summary()}")
+    print(f"  wall time: {report.seconds:.3f}s (workers={args.workers})")
+    cache = report.cache_totals()
+    if cache:
+        print(
+            f"  cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses; "
+            f"disk: {cache.get('disk_hits', 0)} hits / "
+            f"{cache.get('disk_misses', 0)} misses / "
+            f"{cache.get('disk_stores', 0)} stores"
+        )
+    if report.crash_buckets:
+        for bucket, count in sorted(report.crash_buckets.items()):
+            print(f"  crash bucket [{bucket}] x{count}")
+    for job in report.failed_jobs:
+        print(f"  FAILED [{job.key}]: {job.error}")
+    print(f"  campaign digest: {report.campaign_digest}")
+    if args.corpus:
+        merged = report.merged_corpus()
+        with open(args.corpus, "w", encoding="utf-8") as handle:
+            jsonlib.dump(merged, handle, indent=2)
+        print(f"  corpus: {len(merged)} tests saved to {args.corpus}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            jsonlib.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  campaign payload written to {args.json}")
+    return 1 if (args.expect_errors and report.total_errors == 0) else 0
+
+
+def register(sub) -> None:
+    campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "run a batch campaign of search jobs (programs x strategies "
+            "x schedulers) across worker processes"
+        ),
+    )
+    campaign.add_argument(
+        "spec",
+        help=(
+            "campaign spec file (.toml or .json; see docs/API.md), or "
+            "'paper' for the built-in paper-example suite"
+        ),
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes running jobs (campaign digest is identical "
+            "at any value; default 1 = in-process)"
+        ),
+    )
+    campaign.add_argument(
+        "--scheduler",
+        default=None,
+        choices=list(scheduler_names()),
+        help=(
+            "override the spec's scheduler list with one frontier "
+            "scheduler for every job"
+        ),
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "per-search speculative planning threads (suite digests are "
+            "identical at any value)"
+        ),
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent on-disk solver query cache shared by all workers "
+            "and future campaign runs"
+        ),
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal finished jobs into DIR; a rerun pointed at the same "
+            "directory skips them"
+        ),
+    )
+    campaign.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection (see 'run --fault-plan'); the "
+            "'worker-proc' site kills a job's worker process"
+        ),
+    )
+    campaign.add_argument(
+        "--corpus",
+        default=None,
+        metavar="FILE",
+        help="save the merged campaign corpus (tests tagged by job) to FILE",
+    )
+    campaign.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the full campaign report as JSON",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines",
+    )
+    campaign.add_argument(
+        "--expect-errors",
+        action="store_true",
+        help="exit non-zero when the campaign finds no errors (for CI)",
+    )
+    campaign.set_defaults(fn=cmd_campaign)

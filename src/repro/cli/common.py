@@ -1,0 +1,196 @@
+"""Option helpers shared by every CLI subcommand.
+
+Nothing here parses arguments — these are the bits that turn parsed
+``argparse`` namespaces into library objects (programs, seeds, fault
+plans, caches, observability bundles) plus the shared report-printing
+helpers.  Each ``*_cmd`` module imports what it needs; the CLI stays a
+thin wrapper over :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..apps.hashes import standard_registry
+from ..errors import ReproError
+from ..faults import FaultPlan, NULL_PLAN
+from ..lang import NativeRegistry, parse_program
+from ..obs import (
+    MetricsRegistry,
+    Observability,
+    RunJournal,
+    Tracer,
+    set_default_registry,
+)
+
+__all__ = [
+    "parse_seed",
+    "parse_range",
+    "load_program",
+    "natives",
+    "default_entry",
+    "seed_for",
+    "scheduler_option",
+    "CliObservability",
+    "null_context",
+    "print_profile_tables",
+    "fault_plan",
+    "query_cache",
+    "print_cache",
+    "print_resilience",
+]
+
+
+def parse_seed(text: str) -> Dict[str, int]:
+    """Parse ``x=1,y=-2`` into an input dict."""
+    out: Dict[str, int] = {}
+    if not text:
+        return out
+    for piece in text.split(","):
+        if "=" not in piece:
+            raise ReproError(f"bad seed assignment {piece!r} (want name=int)")
+        name, _, value = piece.partition("=")
+        out[name.strip()] = int(value.strip())
+    return out
+
+
+def parse_range(text: str):
+    lo, _, hi = text.partition(":")
+    return int(lo), int(hi)
+
+
+def load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return parse_program(source)
+
+
+def natives() -> NativeRegistry:
+    return standard_registry(width=4)
+
+
+def default_entry(program, requested: Optional[str]) -> str:
+    if requested:
+        return requested
+    if "main" in program.functions:
+        return "main"
+    return next(iter(program.functions))
+
+
+def seed_for(program, entry: str, seed: Dict[str, int]) -> Dict[str, int]:
+    params = program.function(entry).params
+    return {p: seed.get(p, 0) for p in params}
+
+
+def scheduler_option(args) -> Dict[str, object]:
+    """The frontier-scheduler option the flags ask for.
+
+    ``--frontier`` is the deprecated spelling; when given it is passed
+    through as the ``frontier`` alias so SearchConfig.from_options owns
+    both the deprecation warning and the fifo->dfs / coverage->
+    generational value mapping.  Otherwise ``--scheduler`` wins.
+    """
+    frontier = getattr(args, "frontier", None)
+    if frontier:
+        return {"frontier": frontier}
+    return {"scheduler": getattr(args, "scheduler", "dfs")}
+
+
+class CliObservability:
+    """The journal/registry/obs bundle requested by the CLI flags.
+
+    When collection is on, a fresh :class:`MetricsRegistry` is installed
+    as the process default (so the solver layers record into it) for the
+    lifetime of the ``with`` block; the previous default is restored and
+    the journal closed on exit.
+    """
+
+    def __init__(self, args, force: bool = False) -> None:
+        trace = getattr(args, "trace", None)
+        profile = force or getattr(args, "profile", False)
+        self.journal = RunJournal(trace) if trace else None
+        self.registry: Optional[MetricsRegistry] = None
+        self.obs: Optional[Observability] = None
+        self._old_registry: Optional[MetricsRegistry] = None
+        if profile or self.journal is not None:
+            self.registry = MetricsRegistry()
+            self.obs = Observability(
+                tracer=Tracer(journal=self.journal),
+                metrics=self.registry,
+                journal=self.journal,
+            )
+
+    def __enter__(self) -> "CliObservability":
+        if self.registry is not None:
+            self._old_registry = set_default_registry(self.registry)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.registry is not None:
+            set_default_registry(self._old_registry)
+        if self.journal is not None:
+            self.journal.close()
+
+
+def null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def print_profile_tables(obs, registry) -> None:
+    print()
+    print("== span profile ==")
+    print(obs.tracer.render_table())
+    print()
+    print("== metrics ==")
+    print(registry.render_table())
+
+
+def fault_plan(args):
+    spec = getattr(args, "fault_plan", None)
+    return FaultPlan.parse(spec) if spec else NULL_PLAN
+
+
+def query_cache(args, enabled: bool = True):
+    """The query cache the flags ask for (disk-backed with --cache-dir)."""
+    from ..solver.cache import QueryCache
+
+    if not enabled:
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from ..solver.diskcache import DiskCache
+
+        return QueryCache(disk=DiskCache(cache_dir))
+    return QueryCache()
+
+
+def print_cache(cache) -> None:
+    if cache is None:
+        return
+    line = (
+        f"  cache: {cache.hits} hits / {cache.misses} misses "
+        f"(rate {cache.hit_rate:.1%})"
+    )
+    disk = cache.disk
+    if disk is not None:
+        line += (
+            f"; disk: {disk.hits} hits / {disk.misses} misses / "
+            f"{disk.stores} stores"
+        )
+    print(line)
+
+
+def print_resilience(result) -> None:
+    """Resilience summary lines: crash buckets, ladder downgrades."""
+    for crash in result.crashes:
+        print(f"  {crash}")
+    rungs = dict(result.downgrades)
+    if rungs or result.deferred_flips or result.abandoned_flips:
+        parts = [f"{rung}={n}" for rung, n in sorted(rungs.items())]
+        parts.append(f"deferred={result.deferred_flips}")
+        parts.append(f"abandoned={result.abandoned_flips}")
+        print(f"  ladder: {' '.join(parts)}")
+    if result.replayed_decisions:
+        print(f"  resumed: {result.replayed_decisions} decisions replayed")

@@ -1,0 +1,33 @@
+"""``repro fuzz`` — blackbox random fuzzing baseline."""
+
+from __future__ import annotations
+
+from ..baselines import RandomFuzzer
+from . import common
+
+__all__ = ["register", "cmd_fuzz"]
+
+
+def cmd_fuzz(args) -> int:
+    program = common.load_program(args.program)
+    entry = common.default_entry(program, args.entry)
+    fuzzer = RandomFuzzer(
+        program, entry, common.natives(),
+        default_range=common.parse_range(args.range),
+        seed=args.rng_seed,
+    )
+    result = fuzzer.run(max_runs=args.runs)
+    print(f"[random] {result.summary()}")
+    for error in result.errors[:10]:
+        print(f"  {error}")
+    return 0
+
+
+def register(sub) -> None:
+    fuzz = sub.add_parser("fuzz", help="blackbox random fuzzing baseline")
+    fuzz.add_argument("program")
+    fuzz.add_argument("--entry", default=None)
+    fuzz.add_argument("--runs", type=int, default=500)
+    fuzz.add_argument("--range", default="-1000:1000", help="lo:hi input range")
+    fuzz.add_argument("--rng-seed", type=int, default=0)
+    fuzz.set_defaults(fn=cmd_fuzz)

@@ -1,0 +1,34 @@
+"""``repro modes`` — compare all four engines on one program."""
+
+from __future__ import annotations
+
+from ..search import DirectedSearch, SearchConfig
+from ..symbolic import ConcretizationMode
+from . import common
+
+__all__ = ["register", "cmd_modes"]
+
+
+def cmd_modes(args) -> int:
+    program = common.load_program(args.program)
+    entry = common.default_entry(program, args.entry)
+    seed = common.seed_for(program, entry, common.parse_seed(args.seed))
+    for mode in ConcretizationMode:
+        search = DirectedSearch.for_mode(
+            program, entry, common.natives(), mode,
+            SearchConfig.from_options(max_runs=args.max_runs),
+        )
+        result = search.run(dict(seed))
+        print(f"{mode.value:14s} {result.summary()}")
+        for error in result.errors:
+            print(f"    {error}")
+    return 0
+
+
+def register(sub) -> None:
+    modes = sub.add_parser("modes", help="compare all four engines")
+    modes.add_argument("program")
+    modes.add_argument("--entry", default=None)
+    modes.add_argument("--seed", default="")
+    modes.add_argument("--max-runs", type=int, default=100)
+    modes.set_defaults(fn=cmd_modes)

@@ -1,0 +1,32 @@
+"""``repro replay`` — replay a saved test corpus and report drift."""
+
+from __future__ import annotations
+
+from .. import api
+from . import common
+
+__all__ = ["register", "cmd_replay"]
+
+
+def cmd_replay(args) -> int:
+    report = api.replay(
+        args.corpus,
+        common.load_program(args.program),
+        entry=args.entry,
+        natives=common.natives(),
+    )
+    print(f"[replay] {report.summary()}")
+    for entry_obj, returned, error in report.mismatches[:10]:
+        print(
+            f"  drift: inputs {entry_obj.input_dict()} now -> "
+            f"returned={returned} error={error}"
+        )
+    return 0 if report.all_match else 1
+
+
+def register(sub) -> None:
+    replay = sub.add_parser("replay", help="replay a saved test corpus")
+    replay.add_argument("program")
+    replay.add_argument("corpus", help="corpus JSON file")
+    replay.add_argument("--entry", default=None)
+    replay.set_defaults(fn=cmd_replay)

@@ -1,0 +1,174 @@
+"""``repro run`` — directed search with one engine."""
+
+from __future__ import annotations
+
+import os
+
+from .. import api
+from ..faults import SITES, use_fault_plan
+from ..search import DirectedSearch, SearchConfig
+from ..search.corpus import TestCorpus
+from ..search.scheduler import scheduler_names
+from ..symbolic import ConcretizationMode
+from . import common
+
+__all__ = ["register", "cmd_run"]
+
+
+def cmd_run(args) -> int:
+    from ..solver.cache import use_cache
+
+    program = common.load_program(args.program)
+    entry = common.default_entry(program, args.entry)
+    seed = common.seed_for(program, entry, common.parse_seed(args.seed))
+    checkpoint_dir = args.checkpoint
+    if args.resume and not checkpoint_dir:
+        # resuming continues checkpointing into the same directory
+        checkpoint_dir = args.resume
+    cache = common.query_cache(args) if getattr(args, "cache_dir", None) else None
+    store = [None]
+
+    def _capture_store(search: DirectedSearch) -> None:
+        store[0] = search.store
+
+    with common.CliObservability(args) as cli_obs, use_fault_plan(
+        common.fault_plan(args)
+    ):
+        with use_cache(cache) if cache is not None else common.null_context():
+            result = api.generate_tests(
+                program,
+                entry=entry,
+                strategy=args.mode,
+                natives=common.natives(),
+                seed=seed,
+                obs=cli_obs.obs,
+                config=SearchConfig.from_options(
+                    max_runs=args.max_runs,
+                    jobs=args.jobs,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume_from=args.resume,
+                    **common.scheduler_option(args),
+                ),
+                _search_hook=_capture_store,
+            )
+    print(f"[{args.mode}] {result.summary()}")
+    for error in result.errors:
+        print(f"  {error}")
+    common.print_resilience(result)
+    if cache is not None:
+        common.print_cache(cache)
+    if cli_obs.journal is not None:
+        print(
+            f"  trace: {cli_obs.journal.events_written} events written "
+            f"to {args.trace}"
+        )
+    if args.corpus:
+        corpus = TestCorpus()
+        corpus.add_from_search(result)
+        corpus.save(args.corpus)
+        print(f"  corpus: {len(corpus)} tests saved to {args.corpus}")
+    if args.report:
+        from ..search.report import render_report
+
+        text = render_report(
+            result, program, entry, mode=args.mode, store=store[0],
+            title=f"Testing session: {os.path.basename(args.program)}",
+        )
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"  report written to {args.report}")
+    if args.profile and cli_obs.registry is not None:
+        common.print_profile_tables(cli_obs.obs, cli_obs.registry)
+    return 1 if (args.expect_error and not result.found_error) else 0
+
+
+def register(sub) -> None:
+    run = sub.add_parser("run", help="directed search with one engine")
+    run.add_argument("program", help="MiniC source file")
+    run.add_argument("--entry", default=None, help="entry function (default: main)")
+    run.add_argument("--seed", default="", help="seed inputs, e.g. x=1,y=2")
+    run.add_argument(
+        "--mode",
+        default="higher_order",
+        choices=[m.value for m in ConcretizationMode],
+    )
+    run.add_argument("--max-runs", type=int, default=100)
+    run.add_argument(
+        "--scheduler",
+        default="dfs",
+        choices=list(scheduler_names()),
+        help=(
+            "frontier scheduler: dfs (paper order), generational "
+            "(SAGE-style), coverage (flip-target guided); see docs/SEARCH.md"
+        ),
+    )
+    run.add_argument(
+        "--frontier",
+        default=None,
+        choices=["fifo", "coverage"],
+        help="deprecated alias for --scheduler (fifo=dfs, coverage=generational)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads planning branch flips (same suite at any value)",
+    )
+    run.add_argument("--corpus", default=None, help="save generated tests to JSON")
+    run.add_argument("--report", default=None, help="write a markdown session report")
+    run.add_argument(
+        "--expect-error",
+        action="store_true",
+        help="exit non-zero when no error is found (for CI scripts)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream a JSONL journal of session events to FILE",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print span profile and metrics tables after the search",
+    )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'solver:rate=0.2,seed=7;interp:at=3;kill:at=25' "
+            f"(sites: {', '.join(SITES)})"
+        ),
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent on-disk solver query cache shared across runs",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist search progress into DIR for crash/interrupt recovery",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=20,
+        metavar="N",
+        help="flush advisory checkpoint snapshots every N runs (default 20)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume an interrupted search from checkpoint DIR (replays its "
+            "decision log; produces the same suite as an uninterrupted run)"
+        ),
+    )
+    run.set_defaults(fn=cmd_run)

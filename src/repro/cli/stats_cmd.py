@@ -1,0 +1,84 @@
+"""``repro stats`` — directed search with a full observability report."""
+
+from __future__ import annotations
+
+from .. import api
+from ..faults import use_fault_plan
+from ..search import SearchConfig
+from ..symbolic import ConcretizationMode
+from . import common
+
+__all__ = ["register", "cmd_stats"]
+
+
+def cmd_stats(args) -> int:
+    """Run a search with full observability and render the stats report."""
+    from ..solver.cache import use_cache
+
+    program = common.load_program(args.program)
+    entry = common.default_entry(program, args.entry)
+    seed = common.seed_for(program, entry, common.parse_seed(args.seed))
+    cache = common.query_cache(args) if getattr(args, "cache_dir", None) else None
+    with common.CliObservability(args, force=True) as cli_obs, use_fault_plan(
+        common.fault_plan(args)
+    ):
+        with use_cache(cache) if cache is not None else common.null_context():
+            result = api.generate_tests(
+                program,
+                entry=entry,
+                strategy=args.mode,
+                natives=common.natives(),
+                seed=seed,
+                obs=cli_obs.obs,
+                config=SearchConfig.from_options(max_runs=args.max_runs),
+            )
+    print(f"[{args.mode}] {result.summary()}")
+    common.print_resilience(result)
+    print(
+        f"  wall time: {result.time_total:.3f}s "
+        f"(executing {result.time_executing:.3f}s, "
+        f"generating {result.time_generating:.3f}s)"
+    )
+    if cache is not None:
+        common.print_cache(cache)
+    if cli_obs.journal is not None:
+        print(
+            f"  trace: {cli_obs.journal.events_written} events written "
+            f"to {args.trace}"
+        )
+    common.print_profile_tables(cli_obs.obs, cli_obs.registry)
+    return 0
+
+
+def register(sub) -> None:
+    stats = sub.add_parser(
+        "stats", help="directed search with a full observability report"
+    )
+    stats.add_argument("program")
+    stats.add_argument("--entry", default=None)
+    stats.add_argument("--seed", default="")
+    stats.add_argument(
+        "--mode",
+        default="higher_order",
+        choices=[m.value for m in ConcretizationMode],
+    )
+    stats.add_argument("--max-runs", type=int, default=100)
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also stream the JSONL journal to FILE",
+    )
+    stats.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection (see 'run --fault-plan')",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent on-disk solver query cache shared across runs",
+    )
+    stats.set_defaults(fn=cmd_stats)

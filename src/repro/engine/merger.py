@@ -161,6 +161,10 @@ class ResultMerger:
         "search.errors",
     )
 
+    #: counter prefixes folded wholesale (per-scheduler queue/selection
+    #: counters: names depend on which schedulers the campaign ran)
+    AGGREGATED_PREFIXES = ("search.scheduler.",)
+
     def merge(
         self,
         results: Sequence[JobResult],
@@ -200,6 +204,13 @@ class ResultMerger:
                     if value:
                         report.counters[name] = report.counters.get(
                             name, 0
+                        ) + int(value)  # type: ignore[call-overload]
+                for name, value in counters.items():
+                    if value and any(
+                        str(name).startswith(p) for p in self.AGGREGATED_PREFIXES
+                    ):
+                        report.counters[str(name)] = report.counters.get(
+                            str(name), 0
                         ) + int(value)  # type: ignore[call-overload]
             histograms = job.metrics.get("histograms", {})
             if isinstance(histograms, dict):

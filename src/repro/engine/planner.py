@@ -17,8 +17,8 @@ pieces:
   mutable state, which is what makes the pool embarrassingly parallel and
   the campaign digest independent of ``--workers``.
 
-Job keys (``program//entry//strategy``) are unique within a campaign and
-define the canonical (sorted) order every report uses.
+Job keys (``program//entry//strategy//scheduler``) are unique within a
+campaign and define the canonical (sorted) order every report uses.
 """
 
 from __future__ import annotations
@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..lang.parser import parse_program
+from ..search.scheduler import SCHEDULERS, scheduler_names
 from ..symbolic.concolic import ConcretizationMode
 
 __all__ = ["SearchJob", "CampaignSpec", "BatchPlanner", "NATIVES_NAMES"]
@@ -66,7 +67,7 @@ def resolve_strategy(name: str) -> str:
 class SearchJob:
     """One self-contained search session, safe to ship to a worker process."""
 
-    #: unique, sortable identity: ``program//entry//strategy``
+    #: unique, sortable identity: ``program//entry//strategy//scheduler``
     key: str
     program_name: str
     #: MiniC source text (workers re-parse privately)
@@ -98,6 +99,9 @@ class CampaignSpec:
 
     programs: List[Dict[str, object]] = field(default_factory=list)
     strategies: List[str] = field(default_factory=lambda: ["higher_order"])
+    #: frontier schedulers to run each program x strategy under (see
+    #: :mod:`repro.search.scheduler`); every entry multiplies the job list
+    schedulers: List[str] = field(default_factory=lambda: ["dfs"])
     max_runs: int = 60
     #: extra SearchConfig options applied to every job
     config: Dict[str, object] = field(default_factory=dict)
@@ -131,6 +135,7 @@ class CampaignSpec:
         spec = cls(
             programs=list(data.get("programs", [])),
             strategies=[str(s) for s in data.get("strategies", ["higher_order"])],
+            schedulers=[str(s) for s in data.get("schedulers", ["dfs"])],
             max_runs=int(data.get("max_runs", 60)),
             config=dict(data.get("config", {})),
         )
@@ -151,6 +156,7 @@ class CampaignSpec:
         strategies: Sequence[str] = ("higher_order",),
         max_runs: int = 40,
         config: Optional[Dict[str, object]] = None,
+        schedulers: Sequence[str] = ("dfs",),
     ) -> "CampaignSpec":
         """The built-in suite: every paper example, with paper natives."""
         from ..apps.paper_programs import PAPER_EXAMPLES
@@ -168,6 +174,7 @@ class CampaignSpec:
         return cls(
             programs=programs,
             strategies=list(strategies),
+            schedulers=list(schedulers),
             max_runs=max_runs,
             config=dict(config or {}),
         )
@@ -190,6 +197,19 @@ class BatchPlanner:
         if len(set(strategies)) != len(strategies):
             raise ReproError(
                 f"campaign strategies {spec.strategies!r} repeat a mode"
+            )
+        if not spec.schedulers:
+            raise ReproError("campaign spec has no schedulers")
+        schedulers = [str(s) for s in spec.schedulers]
+        for name in schedulers:
+            if name not in SCHEDULERS:
+                raise ReproError(
+                    f"unknown scheduler {name!r} "
+                    f"(allowed: {', '.join(scheduler_names())})"
+                )
+        if len(set(schedulers)) != len(schedulers):
+            raise ReproError(
+                f"campaign schedulers {spec.schedulers!r} repeat an entry"
             )
         jobs: List[SearchJob] = []
         seen_names: set = set()
@@ -225,20 +245,23 @@ class BatchPlanner:
                 param: given_seed.get(param, 0)
                 for param in program.function(entry).params
             }
-            config = dict(spec.config)
-            config.setdefault("max_runs", spec.max_runs)
+            base_config = dict(spec.config)
+            base_config.setdefault("max_runs", spec.max_runs)
             for strategy in strategies:
-                jobs.append(
-                    SearchJob(
-                        key=f"{name}//{entry}//{strategy}",
-                        program_name=name,
-                        source=source,
-                        entry=entry,
-                        strategy=strategy,
-                        natives=natives,
-                        seed=dict(seed),
-                        config=dict(config),
+                for scheduler in schedulers:
+                    config = dict(base_config)
+                    config["scheduler"] = scheduler
+                    jobs.append(
+                        SearchJob(
+                            key=f"{name}//{entry}//{strategy}//{scheduler}",
+                            program_name=name,
+                            source=source,
+                            entry=entry,
+                            strategy=strategy,
+                            natives=natives,
+                            seed=dict(seed),
+                            config=config,
+                        )
                     )
-                )
         jobs.sort(key=lambda job: job.key)
         return jobs

@@ -65,7 +65,7 @@ __all__ = [
 ]
 
 #: JobResult payload schema version (checkpointed campaigns self-invalidate)
-JOB_RESULT_FORMAT = 1
+JOB_RESULT_FORMAT = 2
 
 
 def build_natives(name: str) -> NativeRegistry:
@@ -89,6 +89,8 @@ class JobResult:
 
     key: str
     ok: bool = True
+    #: frontier scheduler the job's search ran under
+    scheduler: str = ""
     #: error message of a job that failed outright (ok=False)
     error: str = ""
     #: the search ended on a (contained) SearchInterrupted
@@ -127,6 +129,7 @@ class JobResult:
             "format": JOB_RESULT_FORMAT,
             "key": self.key,
             "ok": self.ok,
+            "scheduler": self.scheduler,
             "error": self.error,
             "interrupted": self.interrupted,
             "killed_worker": self.killed_worker,
@@ -160,6 +163,7 @@ class JobResult:
         return cls(
             key=str(payload["key"]),
             ok=bool(payload["ok"]),
+            scheduler=str(payload.get("scheduler", "")),
             error=str(payload.get("error", "")),
             interrupted=bool(payload.get("interrupted", False)),
             killed_worker=bool(payload.get("killed_worker", False)),
@@ -229,7 +233,11 @@ def run_job(
     """
     from ..search.directed import DirectedSearch, SearchConfig
 
-    out = JobResult(key=job.key, worker_pid=os.getpid())
+    out = JobResult(
+        key=job.key,
+        scheduler=str(job.config.get("scheduler", "dfs")),
+        worker_pid=os.getpid(),
+    )
     plan = FaultPlan.parse(fault_spec) if fault_spec else NULL_PLAN
     registry = MetricsRegistry()
     cache = _job_cache(cache_dir)

@@ -16,6 +16,9 @@ interp     :class:`~repro.errors.StepBudgetExceeded` at the start of a
            concolic run — exercises crash containment
 worker     ``RuntimeError`` inside a speculative flip plan on a worker
            thread — exercises the serial-recompute fallback
+scheduler  ``RuntimeError`` when the frontier scheduler picks the next
+           pending run — exercises the kernel's FIFO containment
+           fallback (see :meth:`repro.search.kernel.SearchKernel.schedule`)
 worker-proc ``RuntimeError`` standing in for a killed campaign worker
            *process* — exercises the batch engine's in-process recompute
            (see :mod:`repro.engine.runner`)
@@ -77,6 +80,7 @@ SITES = (
     "interp",
     "worker",
     "worker-proc",
+    "scheduler",
     "journal",
     "checkpoint",
     "kill",
@@ -134,7 +138,7 @@ def _fault_error(site: str) -> Exception:
         return ResourceLimitError(marker)
     if site == "interp":
         return StepBudgetExceeded(marker)
-    if site in ("worker", "worker-proc"):
+    if site in ("worker", "worker-proc", "scheduler"):
         return RuntimeError(marker)
     if site in ("journal", "checkpoint"):
         return OSError(marker)

@@ -18,15 +18,36 @@ from .directed import (
     SearchConfig,
     SearchResult,
 )
+from .kernel import SearchKernel, SearchState
 from .minimize import MinimizationResult, minimize_error_inputs
 from .parallel import FrontierExpander
 from .report import render_report, suite_digest
+from .scheduler import (
+    CoverageScheduler,
+    DfsScheduler,
+    FrontierItem,
+    FrontierScheduler,
+    GenerationalScheduler,
+    SCHEDULERS,
+    make_scheduler,
+    scheduler_names,
+)
 
 __all__ = [
     "CheckpointWriter",
     "ReplayCursor",
     "CrashReport",
     "FrontierExpander",
+    "FrontierItem",
+    "FrontierScheduler",
+    "DfsScheduler",
+    "GenerationalScheduler",
+    "CoverageScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "scheduler_names",
+    "SearchKernel",
+    "SearchState",
     "CorpusEntry",
     "ReplayReport",
     "TestCorpus",

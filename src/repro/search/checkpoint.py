@@ -154,20 +154,28 @@ class CheckpointWriter:
         fault_state: Dict[str, object],
         frontier: Iterable[Dict[str, object]] = (),
         corpus: Optional[object] = None,
+        search_state: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Write the advisory snapshots (state, samples, frontier, corpus)."""
+        """Write the advisory snapshots (state, samples, frontier, corpus).
+
+        ``search_state`` is the kernel's full
+        :meth:`~repro.search.kernel.SearchState.to_payload` snapshot —
+        scheduler queue included — stored under the ``"search"`` key of
+        ``state.json`` for inspection (replay rebuilds the live state from
+        the decision log, not from this snapshot).
+        """
         if not self.enabled:
             return
         try:
             current_fault_plan().fire("checkpoint")
-            self._write_json(
-                "state.json",
-                {
-                    "runs": runs,
-                    "decisions": self.decisions_written,
-                    "fault_state": fault_state,
-                },
-            )
+            payload: Dict[str, object] = {
+                "runs": runs,
+                "decisions": self.decisions_written,
+                "fault_state": fault_state,
+            }
+            if search_state is not None:
+                payload["search"] = search_state
+            self._write_json("state.json", payload)
             with open(self._path("samples.jsonl"), "w", encoding="utf-8") as fh:
                 for sample in samples:
                     fh.write(

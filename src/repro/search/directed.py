@@ -6,10 +6,15 @@ that flip it, run again, repeat — tracking coverage, found errors, and
 *divergences* (runs that failed to follow the path their constraint
 predicted, the tell-tale of unsound path constraints, §3.2).
 
-The expansion order is generational (each child may only negate conditions
-at positions ≥ its creating index + 1 in its own constraint), which
-guarantees progress and mirrors the search used by the whitebox fuzzing
-work the paper builds on.
+The loop itself lives in the staged kernel
+(:class:`~repro.search.kernel.SearchKernel`: execute → derive flips →
+schedule → solve → reconstitute, around an explicit
+:class:`~repro.search.kernel.SearchState`); which pending run expands
+next is a pluggable policy (:mod:`repro.search.scheduler` — ``dfs``,
+``generational``, ``coverage``).  This module keeps the public surface:
+the config, the report dataclasses, and the :class:`DirectedSearch`
+session harness that owns observability installation, checkpoint
+lifecycle, and resume.
 
 Production hardening (docs/ROBUSTNESS.md) rides on top of the classic
 loop without changing the generated suite on the happy path:
@@ -25,49 +30,31 @@ loop without changing the generated suite on the happy path:
 - **Checkpoint/resume** — generation decisions are journaled to a
   checkpoint directory; resuming replays the log (re-executing the cheap,
   deterministic program runs and skipping all solving) and produces the
-  same suite an uninterrupted search would have.
+  same suite an uninterrupted search would have, under the same scheduler
+  (the checkpoint records which; resume adopts it).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-import re
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import (
-    ReproError,
-    ResourceLimitError,
-    RunBudgetExhausted,
-    SearchInterrupted,
-)
-from ..faults import current_fault_plan, set_fault_plan
+from ..errors import ReproError, SearchInterrupted
+from ..faults import current_fault_plan
 from ..lang.ast import Program
 from ..lang.natives import NativeRegistry
 from ..obs import Observability
 from ..obs.journal import set_current_journal
 from ..obs.metrics import set_default_registry
-from ..solver.budget import DEFAULT_BUDGET, DEGRADED_BUDGET, use_budget
-from ..solver.terms import Term, TermManager
-from ..symbolic.concolic import (
-    ConcolicEngine,
-    ConcolicResult,
-    ConcretizationMode,
-    PathCondition,
-)
-from ..core.post import negatable_indices
+from ..solver.terms import TermManager
+from ..symbolic.concolic import ConcolicEngine, ConcolicResult, ConcretizationMode
 from ..core.samples import SampleStore
-from .backends import (
-    GeneratedTest,
-    GenerationRequest,
-    QuantifierFreeBackend,
-    TestGenBackend,
-)
+from .backends import QuantifierFreeBackend, TestGenBackend
 from .checkpoint import CheckpointWriter, ReplayCursor
 from .coverage import BranchCoverage
-from .parallel import FrontierExpander, PlannedRecord
+from .scheduler import SCHEDULERS, make_scheduler, scheduler_names
 
 __all__ = [
     "SearchConfig",
@@ -77,11 +64,6 @@ __all__ = [
     "SearchResult",
     "DirectedSearch",
 ]
-
-#: sentinel: the flip was queued for the end-of-search retry phase
-_DEFERRED = object()
-#: sentinel: the run budget is gone; end the search gracefully
-_STOP = object()
 
 
 @dataclass
@@ -98,10 +80,12 @@ class SearchConfig:
     dedupe_inputs: bool = True
     #: give up expanding a single run beyond this many conditions
     max_conditions_per_run: int = 64
-    #: frontier scheduling: "fifo" (classic generational order) or
-    #: "coverage" (expand runs that discovered new branch outcomes first,
-    #: the heuristic whitebox fuzzers use to steer large searches)
-    frontier: str = "fifo"
+    #: frontier scheduler (see :mod:`repro.search.scheduler`): "dfs"
+    #: (classic generational order, the reproducibility baseline),
+    #: "generational" (SAGE-style: expand the run that covered the most
+    #: new branch outcomes first), or "coverage" (prefer flips whose
+    #: branch targets are still uncovered)
+    scheduler: str = "dfs"
     #: worker threads planning branch flips speculatively; the generated
     #: suite is identical for every value (see :mod:`repro.search.parallel`)
     jobs: int = 1
@@ -120,9 +104,17 @@ class SearchConfig:
     _OPTION_ALIASES = {
         "stop_on_error": "stop_on_first_error",
         "threads": "jobs",
-        "frontier_policy": "frontier",
+        "frontier": "scheduler",
+        "frontier_policy": "scheduler",
         "checkpoint": "checkpoint_dir",
         "resume": "resume_from",
+    }
+
+    #: legacy *values* of the frontier/frontier_policy aliases, mapped onto
+    #: the scheduler that reproduces their behaviour exactly
+    _SCHEDULER_VALUE_ALIASES = {
+        "fifo": "dfs",
+        "coverage": "generational",
     }
 
     @classmethod
@@ -134,9 +126,11 @@ class SearchConfig:
         drivers all go through it): unknown keys raise :class:`TypeError`
         instead of being silently dropped, values are range-checked, and
         the legacy keyword aliases that drifted into ad-hoc call sites
-        (``stop_on_error``, ``threads``, ``frontier_policy``,
+        (``stop_on_error``, ``threads``, ``frontier``, ``frontier_policy``,
         ``checkpoint``, ``resume``) keep working behind a one-shot
-        :class:`DeprecationWarning`.
+        :class:`DeprecationWarning`.  The old ``frontier`` *values* map
+        onto the scheduler with identical behaviour: ``fifo`` → ``dfs``,
+        ``coverage`` → ``generational``.
         """
         import warnings
 
@@ -153,6 +147,8 @@ class SearchConfig:
                         DeprecationWarning,
                         stacklevel=2,
                     )
+                if key in ("frontier", "frontier_policy"):
+                    value = cls._SCHEDULER_VALUE_ALIASES.get(str(value), value)
             if canonical not in known:
                 raise TypeError(
                     f"unknown SearchConfig option {key!r} "
@@ -174,9 +170,10 @@ class SearchConfig:
             raise ReproError(f"max_runs must be >= 1 (got {self.max_runs})")
         if self.jobs < 1:
             raise ReproError(f"jobs must be >= 1 (got {self.jobs})")
-        if self.frontier not in ("fifo", "coverage"):
+        if self.scheduler not in SCHEDULERS:
             raise ReproError(
-                f"frontier must be 'fifo' or 'coverage' (got {self.frontier!r})"
+                f"unknown scheduler {self.scheduler!r} "
+                f"(allowed: {', '.join(scheduler_names())})"
             )
         if self.checkpoint_every < 1:
             raise ReproError(
@@ -341,34 +338,6 @@ class SearchResult:
         return "\n".join(lines)
 
 
-def _app_subterms(term: Term) -> List[Term]:
-    """Every distinct UF application occurring in ``term`` (outermost too)."""
-    out: List[Term] = []
-    seen: Set[Term] = set()
-    stack = [term]
-    while stack:
-        t = stack.pop()
-        if t in seen:
-            continue
-        seen.add(t)
-        if t.is_app:
-            out.append(t)
-        stack.extend(t.args)
-    return out
-
-
-def _var_names(term: Term) -> Set[str]:
-    """Names of the variables occurring in ``term``."""
-    names: Set[str] = set()
-    stack = [term]
-    while stack:
-        t = stack.pop()
-        if t.is_var and t.name:
-            names.add(t.name)
-        stack.extend(t.args)
-    return names
-
-
 class DirectedSearch:
     """DART-style directed search over a MiniC program.
 
@@ -383,6 +352,11 @@ class DirectedSearch:
 
     The convenience constructor :meth:`for_mode` wires the standard
     backend for each concretization mode.
+
+    This class is the session *harness*: it installs the observability
+    slots, owns the checkpoint writer and replay cursor, and resolves the
+    effective scheduler.  The expansion loop itself is the staged
+    :class:`~repro.search.kernel.SearchKernel` built fresh per session.
     """
 
     def __init__(
@@ -402,15 +376,7 @@ class DirectedSearch:
         #: tracer/metrics/journal bundle; the default is effectively free
         #: (real tracer for the time_* fields, no-op metrics and journal)
         self.obs = obs if obs is not None else Observability()
-        #: every input vector this search has executed (seed, children,
-        #: probes) — the single dedupe source of truth
-        self._seen_inputs: Set[Tuple[Tuple[str, int], ...]] = set()
-        self._probe_log: List[Dict[str, int]] = []
-        self._deferred: List[Tuple[ExecutionRecord, int, GenerationRequest]] = []
-        self._frontier: Optional[deque] = None
-        self._ckpt: Optional[CheckpointWriter] = None
-        self._replay: Optional[ReplayCursor] = None
-        self._suspended_plan = None
+        self._kernel = None
         # late-bind the probe runner for multi-step backends
         if getattr(backend, "probe_runner", "absent") is None:
             backend.probe_runner = self._probe_runner  # type: ignore[attr-defined]
@@ -448,7 +414,7 @@ class DirectedSearch:
             backend = QuantifierFreeBackend(tm)
         return cls(engine, entry, backend, store, config, obs)
 
-    # -- the search loop ------------------------------------------------------------
+    # -- the session harness ------------------------------------------------------
 
     def run(self, seed_inputs: Dict[str, int]) -> SearchResult:
         """Run the directed search from a seed input vector.
@@ -459,24 +425,37 @@ class DirectedSearch:
         checkpointing is on — the checkpoint is flushed first so
         ``SearchConfig.resume_from`` can continue the session.
         """
+        from .kernel import SearchKernel  # deferred: kernel imports this module
+
         obs = self.obs
         result = SearchResult(coverage=BranchCoverage(self.engine.program))
         self._result = result
-        self._deferred = []
-        self._probe_log = []
-        self._frontier = None
-        self._replay = None
-        self._suspended_plan = None
-        self._ckpt = None
+        replay: Optional[ReplayCursor] = None
+        ckpt: Optional[CheckpointWriter] = None
         if self.config.resume_from:
-            self._replay = ReplayCursor.load(self.config.resume_from)
+            replay = ReplayCursor.load(self.config.resume_from)
+        # the checkpoint records which scheduler built its decision log;
+        # replaying under any other scheduler would rebuild a different
+        # frontier, so resume adopts the recorded one
+        scheduler_name = self.config.scheduler
+        if replay is not None:
+            recorded = str(replay.meta.get("scheduler") or "")
+            if recorded and recorded in SCHEDULERS and recorded != scheduler_name:
+                if obs.metrics.enabled:
+                    obs.metrics.counter("search.resume.scheduler_override").inc()
+                obs.emit(
+                    "resume_scheduler_override",
+                    requested=scheduler_name,
+                    recorded=recorded,
+                )
+                scheduler_name = recorded
         if self.config.checkpoint_dir:
             resume_here = bool(
                 self.config.resume_from
                 and os.path.abspath(self.config.resume_from)
                 == os.path.abspath(self.config.checkpoint_dir)
             )
-            self._ckpt = CheckpointWriter(
+            ckpt = CheckpointWriter(
                 self.config.checkpoint_dir,
                 meta={
                     "entry": self.entry,
@@ -487,9 +466,23 @@ class DirectedSearch:
                     "seed": dict(seed_inputs),
                     "fault_plan": current_fault_plan().spec(),
                     "max_runs": self.config.max_runs,
+                    "scheduler": scheduler_name,
                 },
                 resume=resume_here,
             )
+        kernel = SearchKernel(
+            engine=self.engine,
+            entry=self.entry,
+            backend=self.backend,
+            store=self.store,
+            config=self.config,
+            obs=obs,
+            result=result,
+            scheduler=make_scheduler(scheduler_name, coverage=result.coverage),
+            ckpt=ckpt,
+            replay=replay,
+        )
+        self._kernel = kernel
         obs.emit(
             "search_started",
             entry=self.entry,
@@ -497,6 +490,7 @@ class DirectedSearch:
             mode=self.engine.mode.value,
             backend=getattr(self.backend, "name", type(self.backend).__name__),
             max_runs=self.config.max_runs,
+            scheduler=scheduler_name,
             resumed=bool(self.config.resume_from),
         )
         # deep layers (SMT checks, validity verdicts) emit to the current
@@ -510,16 +504,16 @@ class DirectedSearch:
         try:
             with obs.tracer.span("search") as root:
                 try:
-                    self._search_loop(seed_inputs, result)
+                    kernel.search(seed_inputs)
                 except SearchInterrupted as exc:
                     interrupted = exc
                     result.interrupted = True
         finally:
             # flush the final checkpoint while the session's journal and
             # registry are still installed, then restore the ambient slots
-            if self._ckpt is not None:
-                self._flush_checkpoint(result)
-                self._ckpt.close()
+            if ckpt is not None:
+                kernel.flush_checkpoint()
+                ckpt.close()
             set_current_journal(previous_journal)
             if obs.metrics.enabled:
                 set_default_registry(previous_registry)
@@ -544,6 +538,7 @@ class DirectedSearch:
             deferred=result.deferred_flips,
             abandoned=result.abandoned_flips,
             interrupted=result.interrupted,
+            scheduler=scheduler_name,
             coverage=round(result.coverage.ratio(), 4)
             if result.coverage
             else None,
@@ -555,646 +550,9 @@ class DirectedSearch:
             raise interrupted
         return result
 
-    def _search_loop(self, seed_inputs: Dict[str, int], result: SearchResult) -> None:
-        """The generational expansion loop (timed under the "search" span)."""
-        seen_paths: Set[Tuple[Tuple[int, bool], ...]] = set()
-        self._seen_inputs = set()
-        self._begin_replay()
-        expander = FrontierExpander(self.backend, self.config.jobs)
-        try:
-            self._expand(seed_inputs, result, seen_paths, expander)
-        finally:
-            self._end_replay(result)
-            expander.shutdown()
-
-    def _expand(
-        self,
-        seed_inputs: Dict[str, int],
-        result: SearchResult,
-        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
-        expander: FrontierExpander,
-    ) -> None:
-        first = self._execute(seed_inputs, result, parent=None, flipped=None)
-        if first is None:
-            # the seed input itself crashed the program under test; the
-            # contained crash record is this session's whole story
-            result.distinct_paths = 0
-            return
-        seen_paths.add(first.result.path_key)
-        frontier: deque = deque([(first, 0)])
-        self._frontier = frontier
-        stop = False
-
-        while frontier and not stop and result.runs < self.config.max_runs:
-            if self.config.frontier == "coverage":
-                # expand the pending run with the most newly covered
-                # branch outcomes first (ties: oldest first)
-                best = max(
-                    range(len(frontier)),
-                    key=lambda i: (
-                        frontier[i][0].new_coverage,
-                        -frontier[i][0].index,
-                    ),
-                )
-                record, start = frontier[best]
-                del frontier[best]
-            else:
-                record, start = frontier.popleft()
-            conditions = record.result.path_conditions
-            indices = [
-                i
-                for i in negatable_indices(conditions)
-                if i >= start and i < self.config.max_conditions_per_run
-            ]
-            requests = [
-                GenerationRequest(
-                    conditions=list(conditions),
-                    index=i,
-                    input_vars=dict(record.result.input_vars),
-                    defaults=dict(record.result.inputs),
-                )
-                for i in indices
-            ]
-            # replay skips all solving, so speculative planning would only
-            # burn worker time (and fault-site counters) for nothing
-            planned = expander.plan_record(requests, speculate=self._replay is None)
-            for k, i in enumerate(indices):
-                if result.runs >= self.config.max_runs:
-                    break
-                with self.obs.tracer.span("generate") as gen_span:
-                    outcome = self._generate_flip(
-                        planned, k, requests[k], record, i, result
-                    )
-                result.time_generating += gen_span.elapsed
-                if outcome is _STOP:
-                    stop = True
-                    break
-                if outcome is _DEFERRED or outcome is None:
-                    continue
-                self._consume_generated(outcome, record, i, result, seen_paths, frontier)
-                if result.errors and self.config.stop_on_first_error:
-                    result.distinct_paths = len(seen_paths)
-                    return
-        self._drain_deferred(result, seen_paths)
-        result.distinct_paths = len(seen_paths)
-
-    # -- flip generation: replay + degradation ladder -------------------------------
-
-    def _generate_flip(
-        self,
-        planned: PlannedRecord,
-        k: int,
-        request: GenerationRequest,
-        record: ExecutionRecord,
-        i: int,
-        result: SearchResult,
-    ):
-        """Inputs for one flip, via the decision log (resume) or the ladder.
-
-        Returns a :class:`GeneratedTest`, None (no test for this flip),
-        ``_DEFERRED`` (queued for the escalated retry phase), or ``_STOP``
-        (the run budget is exhausted; end the search gracefully).
-        """
-        if self._replay is not None:
-            entry = self._replay.take(record.index, i)
-            if entry is not None:
-                try:
-                    return self._apply_replayed(entry, record, i, request, result)
-                except RunBudgetExhausted:
-                    return _STOP
-            self._end_replay(result)
-        result.solver_calls += 1
-        self._probe_log = []
-        try:
-            generated, rung = self._run_ladder(planned, k, request, record, i, result)
-        except RunBudgetExhausted:
-            # a multi-step probe ran out of execution budget: the strategy
-            # is over, but everything produced so far stands
-            self.obs.emit("run_budget_exhausted", parent=record.index, flip=i)
-            return _STOP
-        self._log_decision(record.index, i, rung, generated, list(self._probe_log))
-        if rung == "deferred":
-            result.deferred_flips += 1
-            self._deferred.append((record, i, request))
-            if self.obs.metrics.enabled:
-                self.obs.metrics.counter("search.flips_deferred").inc()
-            self.obs.emit("flip_deferred", parent=record.index, flip=i)
-            return _DEFERRED
-        return generated
-
-    def _run_ladder(
-        self,
-        planned: PlannedRecord,
-        k: int,
-        request: GenerationRequest,
-        record: ExecutionRecord,
-        i: int,
-        result: SearchResult,
-    ) -> Tuple[Optional[GeneratedTest], str]:
-        """The solver degradation ladder for one flip.
-
-        full-strength query → sound concretization → unsound concretization
-        → defer.  Each rung only runs when the previous one *exhausted its
-        budget* (``ResourceLimitError``); a rung that answers — with a test
-        or with UNSAT — ends the ladder.
-        """
-        try:
-            return planned.produce(k), "full"
-        except RunBudgetExhausted:
-            raise
-        except ResourceLimitError:
-            pass
-        for rung, pin in (("sound", True), ("unsound", False)):
-            self._count_downgrade(rung, record.index, i, result)
-            try:
-                with use_budget(DEGRADED_BUDGET):
-                    generated = self._degraded_generate(request, pin=pin)
-            except ResourceLimitError:
-                continue
-            if generated is not None:
-                return generated, rung
-            if not pin:
-                # even the unconstrained concretization is UNSAT: the flip
-                # is infeasible under every approximation we can afford
-                return None, rung
-            # sound UNSAT may be an artifact of the pins; retry without them
-        return None, "deferred"
-
-    def _count_downgrade(
-        self, rung: str, parent: int, flip: int, result: SearchResult
-    ) -> None:
-        result.downgrades[rung] = result.downgrades.get(rung, 0) + 1
-        if self.obs.metrics.enabled:
-            self.obs.metrics.counter(f"search.downgrades.{rung}").inc()
-        self.obs.emit("flip_downgraded", parent=parent, flip=flip, rung=rung)
-
-    def _degraded_generate(
-        self, request: GenerationRequest, pin: bool
-    ) -> Optional[GeneratedTest]:
-        """Concretized fallback for a flip whose full query blew its budget.
-
-        Every UF application in the path constraint is replaced by its
-        concrete value under the parent run's inputs and the recorded IOF
-        sample table (the parent actually executed those applications, so
-        recorded points are exact).  With ``pin=True`` the inputs feeding
-        the applications are additionally pinned to their parent values —
-        the same move the concolic SOUND mode makes — so the concrete
-        values stay correct; without pins the query is cheaper but unsound
-        (a generated test may diverge, which the search detects as usual).
-        """
-        from ..solver.evalmodel import evaluate
-        from ..solver.smt import Model
-
-        table: Dict = {}
-        for (fn, args), value in self.store.as_table().items():
-            table.setdefault(fn, {})[args] = value
-        model = Model(ints=dict(request.defaults), functions=table)
-        local = TermManager()
-        cache: Dict[Term, Term] = {}
-        pin_names: Set[str] = set()
-        for pc in request.conditions:
-            for app in _app_subterms(pc.term):
-                if app not in cache:
-                    cache[app] = local.mk_int(int(evaluate(app, model)))
-                if pin:
-                    for arg in app.args:
-                        pin_names.update(_var_names(arg))
-        conditions = [
-            dataclasses.replace(pc, term=local.import_term(pc.term, cache))
-            for pc in request.conditions
-        ]
-        input_vars = {
-            name: local.import_term(var, cache)
-            for name, var in request.input_vars.items()
-        }
-        index = request.index
-        if pin:
-            pins = [
-                PathCondition(
-                    term=local.mk_eq(
-                        input_vars[name], local.mk_int(request.defaults[name])
-                    ),
-                    is_concretization=True,
-                )
-                for name in sorted(pin_names)
-                if name in input_vars and name in request.defaults
-            ]
-            conditions = pins + conditions
-            index += len(pins)
-        degraded = GenerationRequest(
-            conditions=conditions,
-            index=index,
-            input_vars=input_vars,
-            defaults=dict(request.defaults),
-        )
-        solver = QuantifierFreeBackend(local, retain_defaults=True, use_session=False)
-        generated = solver.generate(degraded)
-        if generated is None:
-            return None
-        kind = "sound" if pin else "unsound"
-        return GeneratedTest(
-            inputs=generated.inputs,
-            note=f"degraded ({kind} concretization)",
-        )
-
-    # -- checkpoint / resume ---------------------------------------------------------
-
-    def _begin_replay(self) -> None:
-        if self._replay is None:
-            return
-        # suppress fault injection while replaying: the replayed prefix
-        # already consumed its share of the fault sequence in the original
-        # process; the checkpointed counters are restored when going live
-        self._suspended_plan = set_fault_plan(None)
-
-    def _end_replay(self, result: SearchResult) -> None:
-        if self._replay is None:
-            return
-        cursor = self._replay
-        self._replay = None
-        obs = self.obs
-        if cursor.diverged:
-            if obs.metrics.enabled:
-                obs.metrics.counter("search.resume.divergence").inc()
-            obs.emit(
-                "resume_divergence",
-                replayed=len(cursor.consumed),
-                logged=len(cursor),
-            )
-        if obs.metrics.enabled:
-            obs.metrics.counter("search.resume.replayed").inc(len(cursor.consumed))
-        obs.emit(
-            "search_resumed",
-            directory=cursor.directory,
-            replayed=len(cursor.consumed),
-            diverged=cursor.diverged,
-        )
-        if self._suspended_plan is not None:
-            plan = self._suspended_plan
-            self._suspended_plan = None
-            set_fault_plan(plan)
-            if cursor.fault_state:
-                # continue the interrupted fault sequence instead of
-                # repeating it (a one-shot kill must not re-fire)
-                plan.restore_state(cursor.fault_state)
-        if self._ckpt is not None:
-            self._ckpt.reset_decisions(cursor.consumed)
-
-    def _apply_replayed(
-        self,
-        entry: Dict[str, object],
-        record: ExecutionRecord,
-        i: int,
-        request: GenerationRequest,
-        result: SearchResult,
-    ):
-        """Re-enact one logged decision without calling the solver."""
-        result.replayed_decisions += 1
-        rung = str(entry.get("rung", "full"))
-        for probe in entry.get("probes") or []:  # type: ignore[union-attr]
-            self._probe_runner({str(k): int(v) for k, v in dict(probe).items()})
-        # reconstruct the ladder counters the live run would have recorded
-        if rung in ("sound", "unsound", "deferred"):
-            self._count_downgrade("sound", record.index, i, result)
-        if rung in ("unsound", "deferred"):
-            self._count_downgrade("unsound", record.index, i, result)
-        if rung == "deferred":
-            result.deferred_flips += 1
-            self._deferred.append((record, i, request))
-            if self.obs.metrics.enabled:
-                self.obs.metrics.counter("search.flips_deferred").inc()
-            return _DEFERRED
-        if rung == "abandoned":
-            result.abandoned_flips += 1
-            return None
-        produced = entry.get("produced")
-        if produced is None:
-            return None
-        return GeneratedTest(
-            inputs={str(k): int(v) for k, v in dict(produced).items()},  # type: ignore[arg-type]
-            intermediate_runs=int(entry.get("intermediate_runs") or 0),  # type: ignore[arg-type]
-            note=str(entry.get("note") or ""),
-        )
-
-    def _log_decision(
-        self,
-        parent: int,
-        flip: int,
-        rung: str,
-        generated: Optional[GeneratedTest],
-        probes: List[Dict[str, int]],
-    ) -> None:
-        if self._ckpt is None:
-            return
-        self._ckpt.append_decision(
-            {
-                "parent": parent,
-                "flip": flip,
-                "rung": rung,
-                "produced": dict(generated.inputs) if generated is not None else None,
-                "note": generated.note if generated is not None else "",
-                "intermediate_runs": generated.intermediate_runs
-                if generated is not None
-                else 0,
-                "probes": probes,
-            }
-        )
-
-    def _maybe_checkpoint(self, result: SearchResult) -> None:
-        if self._ckpt is None or self._replay is not None:
-            return
-        if result.runs % max(1, self.config.checkpoint_every) != 0:
-            return
-        self._flush_checkpoint(result)
-
-    def _flush_checkpoint(self, result: SearchResult) -> None:
-        ckpt = self._ckpt
-        if ckpt is None or not ckpt.enabled:
-            return
-        frontier_rows = [
-            {"record": rec.index, "start": start, "inputs": dict(rec.result.inputs)}
-            for rec, start in (self._frontier or ())
-        ]
-        corpus = None
-        try:
-            from .corpus import TestCorpus  # deferred: corpus imports this module
-
-            corpus = TestCorpus()
-            corpus.add_from_search(result)
-        except ReproError:  # pragma: no cover - snapshot is advisory
-            corpus = None
-        ckpt.flush_state(
-            result.runs,
-            self.store.samples(),
-            current_fault_plan().state(),
-            frontier_rows,
-            corpus=corpus,
-        )
-        if ckpt.enabled:
-            if self.obs.metrics.enabled:
-                self.obs.metrics.counter("search.checkpoint.writes").inc()
-            self.obs.emit(
-                "checkpoint_written", runs=result.runs, directory=ckpt.directory
-            )
-
-    # -- deferred retry phase --------------------------------------------------------
-
-    def _drain_deferred(
-        self,
-        result: SearchResult,
-        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
-    ) -> None:
-        """End-of-search retry of deferred flips with an escalated budget."""
-        if not self._deferred:
-            return
-        obs = self.obs
-        escalated = DEFAULT_BUDGET.scaled(self.config.defer_scale)
-        queue, self._deferred = self._deferred, []
-        for record, i, request in queue:
-            if result.runs >= self.config.max_runs:
-                break
-            if self._replay is not None:
-                entry = self._replay.take(record.index, i)
-                if entry is not None:
-                    try:
-                        generated = self._apply_replayed(
-                            entry, record, i, request, result
-                        )
-                    except RunBudgetExhausted:
-                        break
-                    if generated is not None and generated is not _DEFERRED:
-                        self._consume_generated(
-                            generated, record, i, result, seen_paths, None
-                        )
-                    continue
-                self._end_replay(result)
-            result.solver_calls += 1
-            self._probe_log = []
-            obs.emit("flip_retried", parent=record.index, flip=i)
-            try:
-                with use_budget(escalated):
-                    generated = self.backend.generate(request)
-                rung = "escalated"
-            except RunBudgetExhausted:
-                break
-            except ResourceLimitError:
-                generated = None
-                rung = "abandoned"
-                result.abandoned_flips += 1
-                if obs.metrics.enabled:
-                    obs.metrics.counter("search.flips_abandoned").inc()
-                obs.emit("flip_abandoned", parent=record.index, flip=i)
-            self._log_decision(record.index, i, rung, generated, list(self._probe_log))
-            if generated is not None:
-                self._consume_generated(generated, record, i, result, seen_paths, None)
-
-    # -- helpers -----------------------------------------------------------------------
-
-    @staticmethod
-    def _input_key(inputs: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
-        return tuple(sorted(inputs.items()))
-
-    def _consume_generated(
-        self,
-        generated: GeneratedTest,
-        record: ExecutionRecord,
-        i: int,
-        result: SearchResult,
-        seen_paths: Set[Tuple[Tuple[int, bool], ...]],
-        frontier: Optional[deque],
-    ) -> Optional[ExecutionRecord]:
-        """Execute a generated test and fold it into the search state.
-
-        ``frontier=None`` (the deferred retry phase) still records paths
-        and errors but does not expand the child further.
-        """
-        obs = self.obs
-        conditions = record.result.path_conditions
-        obs.emit(
-            "test_generated",
-            inputs=dict(generated.inputs),
-            parent=record.index,
-            flip=i,
-            intermediate_runs=generated.intermediate_runs,
-            note=generated.note,
-        )
-        key = self._input_key(generated.inputs)
-        if self.config.dedupe_inputs and key in self._seen_inputs:
-            return None
-        child = self._execute(
-            generated.inputs, result, parent=record.index, flipped=i
-        )
-        if child is None:
-            return None  # the child crashed; contained and bucketed
-        child.intermediate_runs = generated.intermediate_runs
-        child.note = generated.note
-        child.diverged = self._diverged(record.result, i, child.result)
-        obs.emit(
-            "branch_flipped",
-            parent=record.index,
-            child=child.index,
-            flip=i,
-            branch_id=conditions[i].branch_id,
-            line=conditions[i].line,
-            diverged=child.diverged,
-        )
-        if child.diverged:
-            result.divergences += 1
-            obs.emit(
-                "divergence_detected",
-                run=child.index,
-                parent=record.index,
-                flip=i,
-                inputs=dict(child.result.inputs),
-            )
-        if child.result.path_key not in seen_paths:
-            seen_paths.add(child.result.path_key)
-            if frontier is not None:
-                frontier.append((child, i + 1))
-        return child
-
-    def _execute(
-        self,
-        inputs: Dict[str, int],
-        result: SearchResult,
-        parent: Optional[int],
-        flipped: Optional[int],
-    ) -> Optional[ExecutionRecord]:
-        """Run one test; returns None when the run crashed (contained)."""
-        obs = self.obs
-        current_fault_plan().fire("kill")
-        try:
-            with obs.tracer.span("execute") as exec_span:
-                run = self.engine.run(self.entry, inputs)
-        except (SearchInterrupted, RunBudgetExhausted):
-            raise
-        except ReproError as exc:
-            result.time_executing += exec_span.elapsed
-            self._contain_crash(exc, inputs, result, parent, flipped)
-            return None
-        result.time_executing += exec_span.elapsed
-        self._seen_inputs.add(self._input_key(inputs))
-        new_samples = self.store.merge_from_run(run)
-        record = ExecutionRecord(
-            index=len(result.executions),
-            result=run,
-            parent=parent,
-            flipped_index=flipped,
-        )
-        result.executions.append(record)
-        result.runs += 1
-        if result.coverage is not None:
-            record.new_coverage = result.coverage.record(run.covered)
-        if new_samples and obs.journal.enabled:
-            # the store appends in observation order: the last N are new
-            for sample in self.store.samples()[-new_samples:]:
-                obs.emit(
-                    "sample_recorded",
-                    run=record.index,
-                    fn=sample.fn.name,
-                    args=list(sample.args),
-                    value=sample.value,
-                )
-        if run.error:
-            result.errors.append(
-                ErrorReport(
-                    inputs=dict(inputs),
-                    message=run.error_message,
-                    line=run.error_line,
-                    run_index=record.index,
-                )
-            )
-            obs.emit(
-                "error_found",
-                run=record.index,
-                inputs=dict(inputs),
-                message=run.error_message,
-                line=run.error_line,
-            )
-        self._maybe_checkpoint(result)
-        return record
-
-    def _contain_crash(
-        self,
-        exc: ReproError,
-        inputs: Dict[str, int],
-        result: SearchResult,
-        parent: Optional[int],
-        flipped: Optional[int],
-    ) -> None:
-        """Record a crashing program under test as a bucketed crash outcome."""
-        obs = self.obs
-        self._seen_inputs.add(self._input_key(inputs))
-        run_index = result.runs
-        result.runs += 1
-        name = type(exc).__name__
-        match = re.search(r"line (\d+)", str(exc))
-        line = int(match.group(1)) if match else 0
-        bucket = f"{name}@{line}"
-        existing = next((c for c in result.crashes if c.bucket == bucket), None)
-        if existing is not None:
-            existing.count += 1
-        else:
-            result.crashes.append(
-                CrashReport(
-                    bucket=bucket,
-                    error_type=name,
-                    message=str(exc),
-                    line=line,
-                    inputs=dict(inputs),
-                    run_index=run_index,
-                )
-            )
-        if obs.metrics.enabled:
-            obs.metrics.counter("search.crashes").inc()
-        obs.emit(
-            "crash_contained",
-            run=run_index,
-            bucket=bucket,
-            error=name,
-            line=line,
-            message=str(exc),
-            inputs=dict(inputs),
-            parent=parent,
-            flip=flipped,
-        )
-        self._maybe_checkpoint(result)
-
     def _probe_runner(self, inputs: Dict[str, int]) -> None:
-        """Execute an intermediate (multi-step) run, counting it.
-
-        A probe vector that was already executed (as the seed, a generated
-        test, or an earlier probe) is skipped outright: its samples are
-        already merged into the store, so re-running it would burn run
-        budget to learn nothing.  The multi-step driver then observes zero
-        new samples and gives up, which is the correct verdict.
-
-        Raises :class:`~repro.errors.RunBudgetExhausted` when the search's
-        run budget is gone — the search catches it and ends the current
-        strategy gracefully, preserving the partial result.
-        """
-        self._probe_log.append(dict(inputs))
-        if self.config.dedupe_inputs and self._input_key(inputs) in self._seen_inputs:
-            return
-        if self._result.runs >= self.config.max_runs:
-            raise RunBudgetExhausted("run budget exhausted during multi-step probe")
-        record = self._execute(inputs, self._result, parent=None, flipped=None)
-        if record is not None:
-            record.note = "multi-step probe"
-
-    def _diverged(
-        self, parent: ConcolicResult, flipped_index: int, child: ConcolicResult
-    ) -> bool:
-        """Did the child fail to follow the predicted path?
-
-        Expected: the parent's branch trace up to the flipped condition's
-        occurrence, with the outcome at that occurrence negated
-        (paper §3.2's divergence check).
-        """
-        pos = parent.path_conditions[flipped_index].path_pos
-        if pos < 0:
-            return False  # flipped a non-branch condition; nothing to compare
-        expected = list(parent.path[:pos])
-        branch_id, taken = parent.path[pos]
-        expected.append((branch_id, not taken))
-        return child.path[: len(expected)] != expected
+        """Multi-step probe hook, late-bound into the backend; delegates to
+        the live session's kernel (see :meth:`SearchKernel.probe`)."""
+        if self._kernel is None:
+            raise ReproError("probe runner called outside a search session")
+        self._kernel.probe(inputs)

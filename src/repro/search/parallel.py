@@ -181,9 +181,15 @@ class FrontierExpander:
     order by the search loop.
     """
 
-    def __init__(self, backend: TestGenBackend, jobs: int = 1) -> None:
+    def __init__(
+        self, backend: TestGenBackend, jobs: int = 1, scheduler: str = ""
+    ) -> None:
         self.backend = backend
         self.jobs = max(1, int(jobs))
+        #: name of the frontier scheduler driving this expander; requests
+        #: arrive already in the scheduler's flip order, and the name tags
+        #: worker-failure journal events for post-mortems
+        self.scheduler = scheduler
         self._planner = _planner_for(backend)
         self._pool: Optional[ThreadPoolExecutor] = None
         if self.jobs > 1 and self._planner is not None:
@@ -247,6 +253,7 @@ class FrontierExpander:
                 current_journal().emit(
                     "worker_failure",
                     flip=request.index,
+                    scheduler=self.scheduler,
                     error=type(exc).__name__,
                     message=str(exc),
                 )

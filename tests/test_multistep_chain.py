@@ -125,11 +125,11 @@ class TestFourStepChain:
 
 
 class TestFrontierScheduling:
-    def test_coverage_frontier_also_finds_chain(self):
+    def test_generational_scheduler_also_finds_chain(self):
         search = DirectedSearch.for_mode(
             parse_program(CHAIN3), "chain3", make_natives(),
             ConcretizationMode.HIGHER_ORDER,
-            SearchConfig(max_runs=60, frontier="coverage"),
+            SearchConfig(max_runs=60, scheduler="generational"),
         )
         result = search.run({"x": 1, "y": 2, "z": 3})
         assert result.found_error
