@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI gate: campaign telemetry must be cheap and answer-preserving.
+
+Runs a fixed four-job campaign with telemetry off and on for
+``--rounds`` rounds (plus one unmeasured warmup) and compares the
+**minimum** wall time of each arm — min-of-N is the standard
+noise-robust statistic for short benchmarks, since scheduling noise only
+ever adds time.  The two arms alternate order within each round so CPU
+frequency drift cannot systematically favour whichever arm runs first.
+Fails when
+
+- telemetry costs more than ``--threshold`` (default 3%) wall time, or
+- any run's campaign digest differs from any other's (telemetry touched
+  the answers — the one thing it must never do).
+
+The workload is deliberately compute-heavy per run (a 2500-iteration
+concrete loop before the symbolic branches): overhead is a *ratio*, so
+the gate measures telemetry against a realistic event density rather
+than against toy programs that execute in microseconds and make any
+fixed cost look enormous.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead_gate.py
+    PYTHONPATH=src python benchmarks/obs_overhead_gate.py --rounds 6 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import api  # noqa: E402
+from repro.engine import CampaignSpec  # noqa: E402
+
+#: compute-heavy concolic workload: the concrete loop dominates wall
+#: time (as real programs do), then two symbolic branches exercise the
+#: solver, the generational frontier, and higher-order test generation
+CHURN_SOURCE = """
+int churn(int x, int y) {
+    int acc = 0;
+    int i = 0;
+    while (i < 2500) {
+        acc = acc + ((acc * 31 + i) % 97);
+        i = i + 1;
+    }
+    if (x == hash(y + acc - acc)) {
+        error("churn reached");
+    }
+    if (hash(x) == hash(y) + 1) {
+        error("churn linked");
+    }
+    return acc;
+}
+"""
+
+
+def _gate_spec() -> CampaignSpec:
+    return CampaignSpec(
+        programs=[
+            {
+                "name": "churn",
+                "source": CHURN_SOURCE,
+                "entry": "churn",
+                "natives": "paper",
+                "seed": {"x": 5, "y": 9},
+            }
+        ],
+        strategies=["higher_order", "unsound"],
+        schedulers=["dfs", "generational"],
+        max_runs=60,
+    )
+
+
+def _run_once(spec: CampaignSpec, telemetry: bool) -> tuple[float, str]:
+    if telemetry:
+        with tempfile.TemporaryDirectory(prefix="repro-obs-gate-") as tele:
+            start = time.perf_counter()
+            report = api.run_campaign(spec, telemetry=tele)
+            elapsed = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        report = api.run_campaign(spec)
+        elapsed = time.perf_counter() - start
+    assert not report.failed_jobs, "gate campaign had failed jobs"
+    return elapsed, report.campaign_digest
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.03,
+        help="max tolerated relative overhead (default 0.03 = 3%%)",
+    )
+    parser.add_argument("--json", default=None, metavar="FILE")
+    args = parser.parse_args()
+
+    spec = _gate_spec()
+    _run_once(spec, telemetry=False)  # warmup: imports, pyc, allocator
+    digests = set()
+    off_times: list[float] = []
+    on_times: list[float] = []
+    for round_index in range(args.rounds):
+        # alternate which arm goes first so frequency/thermal drift
+        # cannot bias the comparison toward either arm
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for telemetry in order:
+            elapsed, digest = _run_once(spec, telemetry)
+            (on_times if telemetry else off_times).append(elapsed)
+            digests.add(digest)
+        print(
+            f"round {round_index + 1}/{args.rounds}: "
+            f"off={off_times[-1]:.3f}s on={on_times[-1]:.3f}s"
+        )
+
+    base, shipped = min(off_times), min(on_times)
+    overhead = (shipped - base) / base
+    print(
+        f"min wall time: telemetry off {base:.3f}s, on {shipped:.3f}s "
+        f"-> overhead {overhead:+.1%} (threshold {args.threshold:.0%})"
+    )
+    payload = {
+        "off_seconds": off_times,
+        "on_seconds": on_times,
+        "min_off": base,
+        "min_on": shipped,
+        "overhead": overhead,
+        "threshold": args.threshold,
+        "digests": sorted(digests),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if len(digests) != 1:
+        print(f"FAIL: campaign digest varied across runs: {sorted(digests)}")
+        return 1
+    print(f"digest stable across all runs: {next(iter(digests))}")
+    if overhead > args.threshold:
+        print("FAIL: telemetry overhead exceeds the gate")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

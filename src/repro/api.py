@@ -154,6 +154,7 @@ def run_campaign(
     fault_plan: str = "",
     scheduler: Optional[str] = None,
     jobs: Optional[int] = None,
+    telemetry: Optional[str] = None,
     progress: Optional[Callable[[JobResult], None]] = None,
 ) -> CampaignReport:
     """Plan, execute, and merge a batch campaign of search jobs.
@@ -169,6 +170,12 @@ def run_campaign(
     :mod:`repro.search.scheduler`); ``jobs`` sets the per-search
     speculative planning threads.  The report's ``campaign_digest`` is
     byte-identical at every ``workers`` (and ``jobs``) value.
+
+    ``telemetry`` names a directory where every job ships its journal
+    shard; after the run the shards are merged into a deterministic
+    ``campaign.jsonl`` (``repro stats --follow <dir>`` tails it live).
+    Telemetry is answer-preserving: the campaign digest is byte-identical
+    with it on or off.
     """
     if isinstance(spec, CampaignSpec):
         campaign = spec
@@ -206,7 +213,10 @@ def run_campaign(
         else:
             pending.append(job)
     runner = ProcessPoolRunner(
-        workers=workers, cache_dir=cache_dir, fault_spec=fault_plan
+        workers=workers,
+        cache_dir=cache_dir,
+        fault_spec=fault_plan,
+        telemetry_dir=telemetry,
     )
     start = time.perf_counter()
 
@@ -218,12 +228,22 @@ def run_campaign(
 
     fresh = runner.run(pending, progress=_finished)
     elapsed = time.perf_counter() - start
-    return ResultMerger().merge(
+    report = ResultMerger().merge(
         saved + fresh,
         seconds=elapsed,
         killed_workers=runner.killed_workers,
         resumed_jobs=len(saved),
     )
+    if telemetry:
+        from .obs.shipper import merge_shards
+
+        try:
+            _, report.journal_events = merge_shards(telemetry)
+            report.telemetry_dir = telemetry
+        except OSError:
+            # shipping is best-effort; the campaign itself already succeeded
+            report.telemetry_dir = telemetry
+    return report
 
 
 def replay(

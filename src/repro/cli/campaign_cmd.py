@@ -16,6 +16,9 @@ def cmd_campaign(args) -> int:
         if not args.quiet:
             print(f"  [{job.key}] {job.summary()}")
 
+    telemetry = args.telemetry
+    if telemetry is None and args.follow_telemetry:
+        telemetry = args.checkpoint
     report = api.run_campaign(
         args.spec,
         workers=args.workers,
@@ -24,6 +27,7 @@ def cmd_campaign(args) -> int:
         fault_plan=args.fault_plan or "",
         scheduler=args.scheduler,
         jobs=args.jobs,
+        telemetry=telemetry,
         progress=_progress,
     )
     print(f"[campaign] {report.summary()}")
@@ -35,7 +39,17 @@ def cmd_campaign(args) -> int:
             f"{cache.get('misses', 0)} misses; "
             f"disk: {cache.get('disk_hits', 0)} hits / "
             f"{cache.get('disk_misses', 0)} misses / "
-            f"{cache.get('disk_stores', 0)} stores"
+            f"{cache.get('disk_stores', 0)} stores / "
+            f"{cache.get('disk_skipped', 0)} corrupt-skips"
+        )
+        disk = report.disk_cache_stats()
+        if disk.get("hit_rate") is not None:
+            print(f"  disk-cache hit rate: {disk['hit_rate']:.1%}")
+    if report.telemetry_dir:
+        print(
+            f"  telemetry: {report.journal_events} events merged into "
+            f"{report.telemetry_dir}/campaign.jsonl "
+            f"(tail live with: repro top {report.telemetry_dir})"
         )
     if report.crash_buckets:
         for bucket, count in sorted(report.crash_buckets.items()):
@@ -114,6 +128,23 @@ def register(sub) -> None:
         help=(
             "journal finished jobs into DIR; a rerun pointed at the same "
             "directory skips them"
+        ),
+    )
+    campaign.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "ship per-job journal shards into DIR and merge them into "
+            "DIR/campaign.jsonl (answer-preserving; tail with 'repro top')"
+        ),
+    )
+    campaign.add_argument(
+        "--follow-telemetry",
+        action="store_true",
+        help=(
+            "shorthand: ship telemetry into the --checkpoint directory so "
+            "'repro top <checkpoint-dir>' can watch this campaign live"
         ),
     )
     campaign.add_argument(

@@ -1,17 +1,197 @@
-"""``repro stats`` — directed search with a full observability report."""
+"""``repro stats`` — observability reports for runs and campaigns.
+
+Two modes, selected by the positional argument:
+
+- a **program file** runs one directed search with full observability
+  (span profile, metrics table, optional JSONL trace) — the original
+  ``repro stats`` behaviour;
+- a **campaign directory** (checkpoint and/or telemetry dir) renders a
+  per-job rollup table from the checkpointed results plus any journal
+  shards.  ``--follow`` keeps tailing the shards and redrawing — a live
+  view over a *running* campaign (``repro top`` is an alias).
+
+Either mode can export artifacts: ``--metrics-out`` (JSON snapshot),
+``--prom-out`` (Prometheus text exposition), ``--trace-out`` (Chrome
+trace-event JSON loadable in chrome://tracing / Perfetto).
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional, Tuple
+
 from .. import api
 from ..faults import use_fault_plan
+from ..obs.export import (
+    journal_to_chrome_trace,
+    load_journal,
+    render_prometheus,
+    snapshot_to_json,
+)
+from ..obs.shipper import CAMPAIGN_JOURNAL, CampaignStats, ShardReader, merge_shards
 from ..search import SearchConfig
 from ..symbolic import ConcretizationMode
 from . import common
 
-__all__ = ["register", "cmd_stats"]
+__all__ = [
+    "register",
+    "cmd_stats",
+    "cmd_top",
+    "render_campaign_view",
+]
 
 
-def cmd_stats(args) -> int:
+def _percent(value: Optional[float]) -> str:
+    return f"{value:.0%}" if value is not None else "-"
+
+
+def render_campaign_view(stats: CampaignStats, directory: str) -> str:
+    """The campaign rollup as one printable block (table + totals)."""
+    lines: List[str] = []
+    lines.append(f"[campaign] {directory}")
+    lines.append(
+        f"  jobs: {len(stats.jobs)} "
+        f"(done {stats.finished_jobs - stats.failed_jobs}, "
+        f"failed {stats.failed_jobs}, running {stats.running_jobs}); "
+        f"events: {stats.total_events}"
+    )
+    header = (
+        f"  {'job':<44} {'state':<9} {'sched':<12} {'runs':>5} "
+        f"{'tests':>5} {'errs':>4} {'div':>4} {'cov':>5} "
+        f"{'solve':>6} {'cache':>6} {'disk':>6} {'secs':>7}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for job in stats.ordered_jobs():
+        key = job.key if len(job.key) <= 44 else job.key[:41] + "..."
+        state = {"done-checkpointed": "done"}.get(job.state, job.state)
+        lines.append(
+            f"  {key:<44} {state:<9} {job.scheduler:<12} {job.runs:>5} "
+            f"{job.tests:>5} {job.errors:>4} {job.divergences:>4} "
+            f"{_percent(job.coverage):>5} {_percent(job.solve_rate):>6} "
+            f"{_percent(job.cache_hit_rate):>6} {_percent(job.disk_hit_rate):>6} "
+            f"{job.seconds:>7.2f}"
+        )
+    cache = stats.cache_totals()
+    if cache:
+        lines.append(
+            f"  cache totals: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses; disk: "
+            f"{cache.get('disk_hits', 0)} hits / "
+            f"{cache.get('disk_misses', 0)} misses / "
+            f"{cache.get('disk_stores', 0)} stores / "
+            f"{cache.get('disk_skipped', 0)} corrupt-skips"
+        )
+    downgrades = stats.downgrade_totals()
+    if downgrades:
+        parts = " ".join(f"{r}={n}" for r, n in sorted(downgrades.items()))
+        lines.append(f"  ladder downgrades: {parts}")
+    crashes = stats.crash_buckets()
+    if crashes:
+        parts = " ".join(f"[{b}]x{n}" for b, n in sorted(crashes.items()))
+        lines.append(f"  crash buckets: {parts}")
+    if stats.counters:
+        sched = {
+            k: v
+            for k, v in stats.counters.items()
+            if k.startswith("search.scheduler.")
+        }
+        if sched:
+            parts = " ".join(
+                f"{k.split('search.scheduler.', 1)[1]}={v}"
+                for k, v in sorted(sched.items())
+            )
+            lines.append(f"  scheduler counters: {parts}")
+    return "\n".join(lines)
+
+
+def _campaign_snapshot(directory: str) -> CampaignStats:
+    """Fold checkpointed results and all currently-readable shard events."""
+    stats = CampaignStats()
+    stats.fold_checkpoint(directory)
+    for job, event in ShardReader(directory).poll():
+        stats.consume(job, event)
+    return stats
+
+
+def _campaign_journal_path(directory: str) -> str:
+    """The merged campaign stream, merging shards on demand if stale."""
+    path = os.path.join(directory, CAMPAIGN_JOURNAL)
+    shards = os.path.join(directory, "shards")
+    if os.path.isdir(shards):
+        path, _ = merge_shards(directory)
+    return path
+
+
+def _export_campaign(args, directory: str, stats: CampaignStats) -> None:
+    if getattr(args, "metrics_out", None) or getattr(args, "prom_out", None):
+        # campaign-level metrics are the counters aggregated across all
+        # finished jobs (per-job registries live in the checkpoint)
+        snapshot = {"counters": dict(stats.counters), "gauges": {}, "histograms": {}}
+        if getattr(args, "metrics_out", None):
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_to_json(snapshot))
+            print(f"  metrics json -> {args.metrics_out}")
+        if getattr(args, "prom_out", None):
+            with open(args.prom_out, "w", encoding="utf-8") as handle:
+                handle.write(render_prometheus(snapshot))
+            print(f"  prometheus metrics -> {args.prom_out}")
+    if getattr(args, "trace_out", None):
+        path = _campaign_journal_path(directory)
+        events = load_journal(path) if os.path.exists(path) else []
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(journal_to_chrome_trace(events), handle)
+            handle.write("\n")
+        print(f"  chrome trace: {len(events)} events -> {args.trace_out}")
+
+
+def _follow(args, directory: str) -> int:
+    """Tail the campaign's shards, redrawing the rollup every interval."""
+    import time as time_mod
+
+    reader = ShardReader(directory)
+    history: List[Tuple[str, dict]] = []
+    ticks = 0
+    stats = CampaignStats()
+    try:
+        while True:
+            history.extend(reader.poll())
+            # rebuilt each tick: fold_result/counters are not idempotent
+            # under re-folding, and a fresh fold keeps the view exact
+            stats = CampaignStats()
+            stats.fold_checkpoint(directory)
+            for job, event in history:
+                stats.consume(job, event)
+            view = render_campaign_view(stats, directory)
+            if not args.no_clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(view)
+            print(f"  (follow: tick {ticks + 1}, interval {args.interval}s; Ctrl-C to stop)")
+            sys.stdout.flush()
+            ticks += 1
+            if args.iterations and ticks >= args.iterations:
+                break
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    _export_campaign(args, directory, stats)
+    return 0
+
+
+def _campaign_stats(args) -> int:
+    directory = args.program
+    if getattr(args, "follow", False):
+        return _follow(args, directory)
+    stats = _campaign_snapshot(directory)
+    print(render_campaign_view(stats, directory))
+    _export_campaign(args, directory, stats)
+    return 0
+
+
+def _single_run_stats(args) -> int:
     """Run a search with full observability and render the stats report."""
     from ..solver.cache import use_cache
 
@@ -19,42 +199,135 @@ def cmd_stats(args) -> int:
     entry = common.default_entry(program, args.entry)
     seed = common.seed_for(program, entry, common.parse_seed(args.seed))
     cache = common.query_cache(args) if getattr(args, "cache_dir", None) else None
-    with common.CliObservability(args, force=True) as cli_obs, use_fault_plan(
-        common.fault_plan(args)
-    ):
-        with use_cache(cache) if cache is not None else common.null_context():
-            result = api.generate_tests(
-                program,
-                entry=entry,
-                strategy=args.mode,
-                natives=common.natives(),
-                seed=seed,
-                obs=cli_obs.obs,
-                config=SearchConfig.from_options(max_runs=args.max_runs),
-            )
-    print(f"[{args.mode}] {result.summary()}")
-    common.print_resilience(result)
-    print(
-        f"  wall time: {result.time_total:.3f}s "
-        f"(executing {result.time_executing:.3f}s, "
-        f"generating {result.time_generating:.3f}s)"
-    )
-    if cache is not None:
-        common.print_cache(cache)
-    if cli_obs.journal is not None:
+    tmp_trace: Optional[str] = None
+    if getattr(args, "trace_out", None) and not args.trace:
+        # the Chrome trace is rendered from the journal; route it to a
+        # scratch file when the user didn't ask to keep the JSONL
+        fd, tmp_trace = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
+        os.close(fd)
+        args.trace = tmp_trace
+    try:
+        with common.CliObservability(args, force=True) as cli_obs, use_fault_plan(
+            common.fault_plan(args)
+        ):
+            with use_cache(cache) if cache is not None else common.null_context():
+                result = api.generate_tests(
+                    program,
+                    entry=entry,
+                    strategy=args.mode,
+                    natives=common.natives(),
+                    seed=seed,
+                    obs=cli_obs.obs,
+                    config=SearchConfig.from_options(max_runs=args.max_runs),
+                )
+        print(f"[{args.mode}] {result.summary()}")
+        common.print_resilience(result)
         print(
-            f"  trace: {cli_obs.journal.events_written} events written "
-            f"to {args.trace}"
+            f"  wall time: {result.time_total:.3f}s "
+            f"(executing {result.time_executing:.3f}s, "
+            f"generating {result.time_generating:.3f}s)"
         )
-    common.print_profile_tables(cli_obs.obs, cli_obs.registry)
+        if cache is not None:
+            common.print_cache(cache)
+        if cli_obs.journal is not None and tmp_trace is None:
+            print(
+                f"  trace: {cli_obs.journal.events_written} events written "
+                f"to {args.trace}"
+            )
+        common.print_profile_tables(cli_obs.obs, cli_obs.registry)
+        snapshot = cli_obs.registry.snapshot() if cli_obs.registry else {}
+        if getattr(args, "metrics_out", None):
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_to_json(snapshot))
+            print(f"  metrics json -> {args.metrics_out}")
+        if getattr(args, "prom_out", None):
+            with open(args.prom_out, "w", encoding="utf-8") as handle:
+                handle.write(render_prometheus(snapshot))
+            print(f"  prometheus metrics -> {args.prom_out}")
+        if getattr(args, "trace_out", None):
+            events = load_journal(args.trace)
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(journal_to_chrome_trace(events), handle)
+                handle.write("\n")
+            print(f"  chrome trace: {len(events)} events -> {args.trace_out}")
+    finally:
+        if tmp_trace is not None:
+            try:
+                os.unlink(tmp_trace)
+            except OSError:
+                pass
     return 0
+
+
+def cmd_stats(args) -> int:
+    """Single-run observability report, or campaign rollup for a directory."""
+    if os.path.isdir(args.program):
+        return _campaign_stats(args)
+    return _single_run_stats(args)
+
+
+def cmd_top(args) -> int:
+    """``repro top`` — alias for ``repro stats --follow <campaign-dir>``."""
+    args.program = args.campaign_dir
+    args.follow = True
+    return _campaign_stats(args)
+
+
+def _add_export_flags(parser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export the journal as Chrome trace-event JSON (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="export the metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="FILE",
+        help="export the metrics snapshot in Prometheus text format",
+    )
+
+
+def _add_follow_flags(parser) -> None:
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="redraw interval for --follow (default 1s)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop --follow after N redraws (0 = until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="don't clear the screen between --follow redraws",
+    )
 
 
 def register(sub) -> None:
     stats = sub.add_parser(
-        "stats", help="directed search with a full observability report"
+        "stats",
+        help=(
+            "observability report: single-run profile, or live campaign "
+            "rollup when given a campaign directory"
+        ),
     )
-    stats.add_argument("program")
+    stats.add_argument(
+        "program",
+        help="MiniC program file, or a campaign checkpoint/telemetry directory",
+    )
     stats.add_argument("--entry", default=None)
     stats.add_argument("--seed", default="")
     stats.add_argument(
@@ -81,4 +354,23 @@ def register(sub) -> None:
         metavar="DIR",
         help="persistent on-disk solver query cache shared across runs",
     )
+    stats.add_argument(
+        "--follow",
+        action="store_true",
+        help="campaign directory only: keep tailing shards and redrawing",
+    )
+    _add_follow_flags(stats)
+    _add_export_flags(stats)
     stats.set_defaults(fn=cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live campaign telemetry view (alias for stats --follow DIR)",
+    )
+    top.add_argument(
+        "campaign_dir",
+        help="campaign checkpoint/telemetry directory to tail",
+    )
+    _add_follow_flags(top)
+    _add_export_flags(top)
+    top.set_defaults(fn=cmd_top)

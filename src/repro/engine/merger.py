@@ -44,6 +44,10 @@ class CampaignReport:
     counters: Dict[str, int] = field(default_factory=dict)
     #: total seconds inside SMT checks, summed over jobs
     smt_check_seconds: float = 0.0
+    #: telemetry directory the campaign shipped journal shards to ("" = off)
+    telemetry_dir: str = ""
+    #: events in the merged campaign journal (0 when telemetry is off)
+    journal_events: int = 0
 
     # -- derived totals ----------------------------------------------------
 
@@ -86,6 +90,21 @@ class CampaignReport:
             for name, value in job.cache.items():
                 totals[name] = totals.get(name, 0) + value
         return totals
+
+    def disk_cache_stats(self) -> Dict[str, object]:
+        """Shared disk-cache rollup: hits/misses/stores/corrupt-skips and
+        the derived hit rate (None before the first lookup)."""
+        totals = self.cache_totals()
+        hits = totals.get("disk_hits", 0)
+        misses = totals.get("disk_misses", 0)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "stores": totals.get("disk_stores", 0),
+            "corrupt_skipped": totals.get("disk_skipped", 0),
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+        }
 
     def merged_corpus(self) -> List[Dict[str, object]]:
         """Every generated test, tagged with its job key, in key order."""
@@ -137,9 +156,12 @@ class CampaignReport:
             "crash_buckets": dict(self.crash_buckets),
             "downgrades": dict(self.downgrades),
             "cache": cache,
+            "disk_cache": self.disk_cache_stats(),
             "counters": dict(self.counters),
             "smt_check_seconds": round(self.smt_check_seconds, 6),
             "seconds": round(self.seconds, 6),
+            "telemetry_dir": self.telemetry_dir,
+            "journal_events": self.journal_events,
         }
 
 
@@ -156,6 +178,7 @@ class ResultMerger:
         "solver.diskcache.hits",
         "solver.diskcache.misses",
         "solver.diskcache.stores",
+        "solver.diskcache.skipped",
         "search.runs",
         "search.divergences",
         "search.errors",

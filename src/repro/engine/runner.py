@@ -49,7 +49,9 @@ from ..errors import ReproError, SearchInterrupted
 from ..faults import FaultPlan, NULL_PLAN, current_fault_plan, use_fault_plan
 from ..lang.natives import NativeRegistry
 from ..lang.parser import parse_program
+from ..obs import Observability
 from ..obs.metrics import MetricsRegistry, default_registry, use_registry
+from ..obs.tracer import Tracer
 from ..search.corpus import TestCorpus
 from ..search.report import suite_digest
 from ..solver.cache import QueryCache, use_cache
@@ -218,10 +220,45 @@ def _job_cache(cache_dir: Optional[str]) -> QueryCache:
     return QueryCache()
 
 
+def _open_telemetry_shard(
+    telemetry_dir: str, job_key: str, registry: MetricsRegistry
+):
+    """Open the job's journal shard; a failed open disables telemetry for
+    this job (counted once), never the job itself."""
+    from ..obs.shipper import open_shard
+
+    try:
+        return open_shard(telemetry_dir, job_key, os.getpid())
+    except OSError:
+        if registry.enabled:
+            registry.counter("obs.shipper.open_errors").inc()
+        return None
+
+
+def _seal_shard(shard, out: JobResult) -> None:
+    """Emit the shard's terminal ``job_finished`` event and close it."""
+    if shard is None:
+        return
+    shard.emit(
+        "job_finished",
+        ok=out.ok,
+        error=out.error,
+        runs=out.runs,
+        paths=out.paths,
+        errors=len(out.errors),
+        divergences=out.divergences,
+        coverage=out.coverage,
+        seconds=round(out.seconds, 6),
+        suite_digest=out.suite_digest,
+    )
+    shard.close()
+
+
 def run_job(
     job: SearchJob,
     cache_dir: Optional[str] = None,
     fault_spec: str = "",
+    telemetry_dir: Optional[str] = None,
 ) -> JobResult:
     """Execute one job to completion in the current process.
 
@@ -230,6 +267,12 @@ def run_job(
     fresh metrics registry, fresh memory cache over the shared disk cache —
     so the result is a pure function of ``(job, disk cache contents)``,
     and disk-cache hits are answer-preserving by the cache's contract.
+
+    With ``telemetry_dir`` set, the job's journal (spans, solver queries,
+    per-run coverage heartbeats) streams to a private shard under
+    ``<telemetry_dir>/shards/`` for the parent to tail and merge.
+    Telemetry is strictly read-side: the generated suite and its digest
+    are byte-identical with telemetry on or off.
     """
     from ..search.directed import DirectedSearch, SearchConfig
 
@@ -241,6 +284,7 @@ def run_job(
     plan = FaultPlan.parse(fault_spec) if fault_spec else NULL_PLAN
     registry = MetricsRegistry()
     cache = _job_cache(cache_dir)
+    shard = None
     start = time.perf_counter()
     try:
         program = parse_program(job.source)
@@ -248,8 +292,17 @@ def run_job(
         mode = ConcretizationMode(job.strategy)
         config = SearchConfig.from_options(**job.config)
         with use_fault_plan(plan), use_registry(registry), use_cache(cache):
+            obs: Optional[Observability] = None
+            if telemetry_dir:
+                shard = _open_telemetry_shard(telemetry_dir, job.key, registry)
+                if shard is not None:
+                    obs = Observability(
+                        tracer=Tracer(journal=shard),
+                        metrics=registry,
+                        journal=shard,
+                    )
             search = DirectedSearch.for_mode(
-                program, job.entry, natives, mode, config
+                program, job.entry, natives, mode, config, obs=obs
             )
             try:
                 result = search.run(dict(job.seed))
@@ -261,6 +314,8 @@ def run_job(
         out.ok = False
         out.error = f"{type(exc).__name__}: {exc}"
         out.seconds = time.perf_counter() - start
+        _seal_shard(shard, out)
+        out.metrics = registry.snapshot()
         return out
     out.seconds = time.perf_counter() - start
     out.interrupted = result.interrupted
@@ -307,6 +362,7 @@ def run_job(
         "disk_stores": disk.stores if disk is not None else 0,
         "disk_skipped": disk.skipped if disk is not None else 0,
     }
+    _seal_shard(shard, out)
     out.metrics = registry.snapshot()
     return out
 
@@ -345,12 +401,15 @@ class ProcessPoolRunner:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         fault_spec: str = "",
+        telemetry_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1 (got {workers})")
         self.workers = workers
         self.cache_dir = cache_dir
         self.fault_spec = fault_spec
+        #: when set, every job ships its journal shard under this directory
+        self.telemetry_dir = telemetry_dir
         #: worker-process kills contained so far (fault-injected or real)
         self.killed_workers = 0
 
@@ -384,7 +443,7 @@ class ProcessPoolRunner:
 
     def _run_contained(self, job: SearchJob, was_killed: bool) -> JobResult:
         """In-process execution (reference path and containment fallback)."""
-        result = run_job(job, self.cache_dir, self.fault_spec)
+        result = run_job(job, self.cache_dir, self.fault_spec, self.telemetry_dir)
         if was_killed:
             result.killed_worker = True
             self._count_kill()
@@ -418,7 +477,8 @@ class ProcessPoolRunner:
                         progress(results[index])
                     continue
                 future = executor.submit(
-                    run_job, job, self.cache_dir, self.fault_spec
+                    run_job, job, self.cache_dir, self.fault_spec,
+                    self.telemetry_dir,
                 )
                 pending[future] = index
             from concurrent.futures import as_completed
@@ -450,7 +510,7 @@ class ProcessPoolRunner:
 
     def _recompute_after_kill(self, job: SearchJob) -> JobResult:
         self._count_kill()
-        result = run_job(job, self.cache_dir, self.fault_spec)
+        result = run_job(job, self.cache_dir, self.fault_spec, self.telemetry_dir)
         result.killed_worker = True
         return result
 

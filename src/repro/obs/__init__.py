@@ -20,6 +20,12 @@ together (the directed search).  The default bundle keeps a real tracer —
 span timings feed ``SearchResult.time_*`` either way — but null metrics
 and journal, so observability stays effectively free until requested.
 
+Campaign-wide telemetry builds on the same pieces:
+:mod:`~repro.obs.shipper` ships per-worker journal shards and merges
+them into one deterministic campaign stream, and
+:mod:`~repro.obs.export` renders metrics snapshots as JSON/Prometheus
+text and journals as Chrome trace-event JSON.
+
 See docs/OBSERVABILITY.md for the event schema and span label catalogue.
 """
 
@@ -47,8 +53,22 @@ from .metrics import (
     use_registry,
 )
 from .tracer import NULL_TRACER, NullTracer, Span, SpanStats, Tracer
+from .export import (
+    KERNEL_STAGES,
+    journal_to_chrome_trace,
+    render_prometheus,
+    snapshot_to_json,
+)
+from .shipper import CampaignStats, ShardReader, merge_shards
 
 __all__ = [
+    "KERNEL_STAGES",
+    "journal_to_chrome_trace",
+    "render_prometheus",
+    "snapshot_to_json",
+    "CampaignStats",
+    "ShardReader",
+    "merge_shards",
     "Observability",
     "Tracer",
     "NullTracer",

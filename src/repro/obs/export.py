@@ -1,0 +1,200 @@
+"""Telemetry exporters: metrics snapshots and journals as standard formats.
+
+Three render targets, all pure functions over already-collected data
+(exporting can never perturb a search):
+
+- **JSON** — :func:`snapshot_to_json` pretty-prints a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (counters, gauges,
+  histogram summaries) with sorted keys, for machine diffing and the
+  BENCH tooling.
+- **Prometheus text exposition** — :func:`render_prometheus` renders the
+  same snapshot in the ``text/plain; version=0.0.4`` exposition format:
+  counters as ``counter``, gauges as ``gauge``, histogram summaries as a
+  ``summary``-style ``_count``/``_sum`` pair plus ``_min``/``_max``
+  gauges.  Dotted instrument names become underscore-separated metric
+  names under a ``repro_`` prefix (``smt.check_seconds`` →
+  ``repro_smt_check_seconds``).
+- **Chrome trace-event JSON** — :func:`journal_to_chrome_trace` converts
+  a (merged or single-run) journal into the Trace Event Format loadable
+  in ``chrome://tracing`` and Perfetto: ``span`` events become complete
+  (``"ph": "X"``) slices positioned on the monotonic clock (``mono``
+  minus ``seconds``), everything else becomes an instant event, and each
+  campaign job gets its own trace *process* named by job key.
+
+:data:`KERNEL_STAGES` names the five staged-kernel span labels
+(execute → derive → schedule → solve/generate → reconstitute); the CI
+trace-export smoke asserts an exported trace contains all five.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "KERNEL_STAGES",
+    "snapshot_to_json",
+    "render_prometheus",
+    "journal_to_chrome_trace",
+    "load_journal",
+]
+
+#: span labels of the staged search kernel, in pipeline order
+#: (the solve stage keeps its historical span label ``generate``)
+KERNEL_STAGES = ("execute", "derive", "schedule", "generate", "reconstitute")
+
+_PROM_UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def snapshot_to_json(snapshot: Dict[str, object], indent: int = 2) -> str:
+    """A metrics snapshot as deterministic (sorted-key) JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_PROM_UNSAFE.sub('_', name)}"
+
+
+def _prom_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Dict[str, object], prefix: str = "repro"
+) -> str:
+    """A metrics snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if isinstance(counters, dict):
+        for name in sorted(counters):
+            metric = _prom_name(str(name), prefix)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(counters[name])}")
+    gauges = snapshot.get("gauges", {})
+    if isinstance(gauges, dict):
+        for name in sorted(gauges):
+            metric = _prom_name(str(name), prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name in sorted(histograms):
+            summary = histograms[name]
+            if not isinstance(summary, dict):
+                continue
+            metric = _prom_name(str(name), prefix)
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_count {_prom_value(summary.get('count', 0))}")
+            lines.append(f"{metric}_sum {_prom_value(summary.get('total', 0.0))}")
+            lines.append(f"# TYPE {metric}_min gauge")
+            lines.append(f"{metric}_min {_prom_value(summary.get('min', 0.0))}")
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(f"{metric}_max {_prom_value(summary.get('max', 0.0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_journal(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL journal, skipping corrupt/truncated lines."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def _event_mono(event: Dict[str, object]) -> Optional[float]:
+    mono = event.get("mono")
+    if mono is None:
+        return None
+    try:
+        return float(mono)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def journal_to_chrome_trace(
+    events: Iterable[Dict[str, object]]
+) -> Dict[str, object]:
+    """A journal as a Chrome Trace Event Format object.
+
+    ``span`` events become complete slices (``ph: "X"``): a span is
+    journaled at exit with its duration, so its start is ``mono -
+    seconds``; both land on the trace's microsecond clock.  All other
+    events become thread-scoped instants.  Events carrying a ``job``
+    field (a merged campaign stream) map to one trace process per job,
+    labelled by a ``process_name`` metadata record; a single-run journal
+    is one process.  Events without a usable ``mono`` are skipped —
+    wall-clock ``ts`` does not survive clock adjustments, which is the
+    reason ``mono`` exists.
+    """
+    events = list(events)
+    trace_events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    jobs = sorted({str(e["job"]) for e in events if e.get("job")})
+    for index, job in enumerate(jobs, start=1):
+        pids[job] = index
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": index,
+                "tid": 0,
+                "args": {"name": job},
+            }
+        )
+    for event in events:
+        kind = str(event.get("kind", ""))
+        if kind == "shard_opened":
+            continue
+        mono = _event_mono(event)
+        if mono is None:
+            continue
+        pid = pids.get(str(event.get("job", "")), 0)
+        args = {
+            k: v
+            for k, v in event.items()
+            if k not in ("seq", "ts", "mono", "kind", "job", "gseq")
+        }
+        if kind == "span":
+            try:
+                seconds = float(event.get("seconds", 0.0))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                seconds = 0.0
+            trace_events.append(
+                {
+                    "name": str(event.get("label", "span")),
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "ts": round((mono - seconds) * 1e6, 3),
+                    "dur": round(seconds * 1e6, 3),
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": kind,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": 1,
+                    "ts": round(mono * 1e6, 3),
+                    "args": args,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

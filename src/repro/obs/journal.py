@@ -4,8 +4,11 @@ A :class:`RunJournal` records the events of a testing session —
 ``test_generated``, ``branch_flipped``, ``solver_query``,
 ``sample_recorded``, ``divergence_detected``, … — as JSONL so post-hoc
 analysis is one ``json.loads`` per line away.  Every event carries a
-monotonically increasing ``seq`` and a wall-clock ``ts``; all remaining
-fields are event-specific (see docs/OBSERVABILITY.md for the schema).
+monotonically increasing ``seq``, a wall-clock ``ts``, and a monotonic
+``mono`` (``time.perf_counter``, immune to clock adjustments — the
+timestamp latency analysis and the Chrome-trace exporter use); all
+remaining fields are event-specific (see docs/OBSERVABILITY.md for the
+schema).
 
 Deeply nested layers (the SMT solver, the validity engine) do not take a
 journal parameter through every constructor; instead they emit to the
@@ -21,6 +24,13 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, TextIO, Union
+
+from ..faults import current_fault_plan
+
+#: one shared compact encoder for the emit hot path: building a
+#: JSONEncoder per event (what json.dumps does) costs more than the
+#: actual C-level encode for the small dicts journals write
+_ENCODE = json.JSONEncoder(separators=(",", ":"), default=str).encode
 
 __all__ = [
     "RunJournal",
@@ -45,6 +55,12 @@ class RunJournal:
     injected ``journal`` fault) disables the sink after counting a single
     ``obs.journal.write_errors`` — a journal must never take the session
     down.
+
+    ``flush_every`` batches flushes: the handle is flushed every N-th
+    event rather than on each one (campaign worker shards use a small
+    batch so the parent's live tail stays fresh without paying one
+    ``flush`` syscall per event).  ``autoflush=True`` with the default
+    ``flush_every=1`` preserves the original flush-per-event behaviour.
     """
 
     enabled = True
@@ -54,6 +70,8 @@ class RunJournal:
         target: Union[str, TextIO],
         autoflush: bool = True,
         clock: Callable[[], float] = time.time,
+        mono_clock: Callable[[], float] = time.perf_counter,
+        flush_every: int = 1,
     ) -> None:
         if isinstance(target, str):
             self._handle: TextIO = open(target, "w", encoding="utf-8")
@@ -63,6 +81,8 @@ class RunJournal:
             self._owns_handle = False
         self._autoflush = autoflush
         self._clock = clock
+        self._mono_clock = mono_clock
+        self._flush_every = max(1, int(flush_every))
         self._seq = 0
         self._closed = False
         #: solver layers emit from worker threads during speculative flip
@@ -79,15 +99,14 @@ class RunJournal:
             event: Dict[str, object] = {
                 "seq": self._seq,
                 "ts": round(self._clock(), 6),
+                "mono": round(self._mono_clock(), 6),
                 "kind": kind,
             }
             event.update(fields)
             try:
-                from ..faults import current_fault_plan
-
                 current_fault_plan().fire("journal")
-                self._handle.write(json.dumps(event, default=str) + "\n")
-                if self._autoflush:
+                self._handle.write(_ENCODE(event) + "\n")
+                if self._autoflush and self._seq % self._flush_every == 0:
                     self._handle.flush()
             except OSError as exc:
                 self._disable(exc)
@@ -116,9 +135,13 @@ class RunJournal:
             if self._closed:
                 return
             self._closed = True
-            self._handle.flush()
-            if self._owns_handle:
-                self._handle.close()
+            try:
+                self._handle.flush()
+                if self._owns_handle:
+                    self._handle.close()
+            except OSError:
+                # a sink that died mid-session must not raise at close
+                pass
 
     def __enter__(self) -> "RunJournal":
         return self

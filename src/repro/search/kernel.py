@@ -27,6 +27,19 @@ byte-for-byte (CI gates the paper-suite digest on it), and the
 determinism contracts of the parallel expander (any ``--jobs``), the
 checkpoint replay (kill → resume), and the degradation ladder all hold
 for every scheduler (docs/SEARCH.md spells out the contract).
+
+Every stage is also a **profiling span**: the kernel opens a tracer span
+per stage (labels ``execute``, ``derive``, ``schedule``, ``generate``,
+``reconstitute`` — see :data:`repro.obs.export.KERNEL_STAGES`) and, when
+metrics are live, records per-stage duration histograms
+(``kernel.stage.<stage>_seconds``) with per-scheduler attribution
+(``kernel.stage.<stage>_seconds.<scheduler>`` for the scheduler-policy
+stages) plus live query-cache hit-rate gauges (``kernel.cache.*``).
+With an enabled journal each run additionally emits a ``run_executed``
+event carrying cumulative coverage and cache counters — the signal the
+campaign live view (``repro stats --follow``) renders.  All of it is
+answer-preserving: profiling reads clocks and counters, never search
+state.
 """
 
 from __future__ import annotations
@@ -175,6 +188,58 @@ class SearchKernel:
         self._suspended_plan = None
         self._probe_log: List[Dict[str, int]] = []
 
+    # -- stage profiling ---------------------------------------------------
+
+    #: stages whose cost depends on the scheduler policy; their histograms
+    #: get an extra per-scheduler series for attribution
+    _SCHEDULER_STAGES = frozenset({"schedule", "generate"})
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one stage duration into the per-stage histograms."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.histogram(f"kernel.stage.{stage}_seconds").observe(seconds)
+        if stage in self._SCHEDULER_STAGES:
+            metrics.histogram(
+                f"kernel.stage.{stage}_seconds.{self.state.scheduler.name}"
+            ).observe(seconds)
+
+    def _cache_counters(self) -> Dict[str, int]:
+        """Cumulative query-cache counters of the session's cache (if any)."""
+        from ..solver.cache import default_cache
+
+        cache = default_cache()
+        if cache is None:
+            return {}
+        counters = {"hits": cache.hits, "misses": cache.misses}
+        disk = cache.disk
+        if disk is not None:
+            counters.update(
+                disk_hits=disk.hits,
+                disk_misses=disk.misses,
+                disk_stores=disk.stores,
+                disk_skipped=disk.skipped,
+            )
+        return counters
+
+    def _observe_cache(self) -> None:
+        """Refresh the live cache hit-rate gauges."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        from ..solver.cache import default_cache
+
+        cache = default_cache()
+        if cache is None:
+            return
+        metrics.gauge("kernel.cache.hit_rate").set(round(cache.hit_rate, 4))
+        disk = cache.disk
+        if disk is not None:
+            metrics.gauge("kernel.cache.disk_hit_rate").set(
+                round(disk.hit_rate, 4)
+            )
+
     # -- the expansion loop ------------------------------------------------
 
     def search(self, seed_inputs: Dict[str, int]) -> None:
@@ -208,6 +273,10 @@ class SearchKernel:
         scheduler.push(first, 0, self.derive_flips(first, 0))
 
         while scheduler and not state.stop and result.runs < self.config.max_runs:
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter(
+                    f"kernel.iterations.{scheduler.name}"
+                ).inc()
             item = self.schedule()
             record, start = item.record, item.start
             flip_order = scheduler.order_flips(record, item.indices)
@@ -230,6 +299,8 @@ class SearchKernel:
                 with self.obs.tracer.span("generate") as gen_span:
                     outcome = self.solve_flip(planned, k, requests[k], record, i)
                 result.time_generating += gen_span.elapsed
+                self._observe_stage("generate", gen_span.elapsed)
+                self._observe_cache()
                 if outcome is _STOP:
                     state.stop = True
                     break
@@ -247,11 +318,14 @@ class SearchKernel:
     def derive_flips(self, record: ExecutionRecord, start: int) -> List[int]:
         """Candidate flip positions of one run: negatable conditions at
         generational positions >= ``start``, under the per-run cap."""
-        return [
-            i
-            for i in negatable_indices(record.result.path_conditions)
-            if i >= start and i < self.config.max_conditions_per_run
-        ]
+        with self.obs.tracer.span("derive") as span:
+            flips = [
+                i
+                for i in negatable_indices(record.result.path_conditions)
+                if i >= start and i < self.config.max_conditions_per_run
+            ]
+        self._observe_stage("derive", span.elapsed)
+        return flips
 
     # -- stage 3: schedule ---------------------------------------------------
 
@@ -263,6 +337,12 @@ class SearchKernel:
         pending run (FIFO order), so one bad ranking never takes the
         session down.
         """
+        with self.obs.tracer.span("schedule") as span:
+            item = self._schedule()
+        self._observe_stage("schedule", span.elapsed)
+        return item
+
+    def _schedule(self) -> FrontierItem:
         obs = self.obs
         scheduler = self.state.scheduler
         if obs.metrics.enabled:
@@ -661,6 +741,18 @@ class SearchKernel:
         ``live=False`` (the deferred retry phase) still records paths and
         errors but does not push the child back onto the scheduler.
         """
+        with self.obs.tracer.span("reconstitute") as span:
+            child = self._reconstitute(generated, record, i, live)
+        self._observe_stage("reconstitute", span.elapsed)
+        return child
+
+    def _reconstitute(
+        self,
+        generated: GeneratedTest,
+        record: ExecutionRecord,
+        i: int,
+        live: bool,
+    ) -> Optional[ExecutionRecord]:
         result = self.result
         state = self.state
         obs = self.obs
@@ -729,9 +821,11 @@ class SearchKernel:
             raise
         except ReproError as exc:
             result.time_executing += exec_span.elapsed
+            self._observe_stage("execute", exec_span.elapsed)
             self._contain_crash(exc, inputs, parent, flipped)
             return None
         result.time_executing += exec_span.elapsed
+        self._observe_stage("execute", exec_span.elapsed)
         self.state.seen_inputs.add(self._input_key(inputs))
         new_samples = self.store.merge_from_run(run)
         record = ExecutionRecord(
@@ -744,6 +838,20 @@ class SearchKernel:
         result.runs += 1
         if result.coverage is not None:
             record.new_coverage = result.coverage.record(run.covered)
+        if obs.journal.enabled:
+            # the live-view heartbeat: cumulative coverage and cache
+            # counters, one event per run (see repro stats --follow)
+            obs.emit(
+                "run_executed",
+                run=record.index,
+                parent=parent,
+                flip=flipped,
+                new_coverage=record.new_coverage,
+                coverage=round(result.coverage.ratio(), 4)
+                if result.coverage
+                else None,
+                cache=self._cache_counters(),
+            )
         if new_samples and obs.journal.enabled:
             # the store appends in observation order: the last N are new
             for sample in self.store.samples()[-new_samples:]:

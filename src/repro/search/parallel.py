@@ -225,7 +225,18 @@ class FrontierExpander:
     def _speculate(plan, request: GenerationRequest, samples: List[Sample]) -> object:
         """One worker-thread planning task (with its fault-injection site)."""
         current_fault_plan().fire("worker")
-        return plan(request, samples)
+        from time import perf_counter
+
+        from ..obs.metrics import default_registry
+
+        started = perf_counter()
+        planned = plan(request, samples)
+        registry = default_registry()
+        if registry.enabled:
+            registry.histogram("kernel.speculate_seconds").observe(
+                perf_counter() - started
+            )
+        return planned
 
     def _produce(
         self, request: GenerationRequest, future: Optional["Future[object]"]
