@@ -154,6 +154,7 @@ def run_campaign(
     fault_plan: str = "",
     scheduler: Optional[str] = None,
     jobs: Optional[int] = None,
+    exec_backend: Optional[str] = None,
     telemetry: Optional[str] = None,
     progress: Optional[Callable[[JobResult], None]] = None,
 ) -> CampaignReport:
@@ -168,8 +169,10 @@ def run_campaign(
     campaign resumes by skipping them.  ``scheduler`` overrides the
     spec's scheduler list with one frontier scheduler for every job (see
     :mod:`repro.search.scheduler`); ``jobs`` sets the per-search
-    speculative planning threads.  The report's ``campaign_digest`` is
-    byte-identical at every ``workers`` (and ``jobs``) value.
+    speculative planning threads; ``exec_backend`` forces the execution
+    core (``"bytecode"`` or ``"tree"``) for every job.  The report's
+    ``campaign_digest`` is byte-identical at every ``workers`` (and
+    ``jobs``) value, and across both execution backends.
 
     ``telemetry`` names a directory where every job ships its journal
     shard; after the run the shards are merged into a deterministic
@@ -191,8 +194,13 @@ def run_campaign(
         campaign = CampaignSpec.paper_suite()
     else:
         campaign = CampaignSpec.load(str(spec))
-    if scheduler is not None or jobs is not None:
+    if scheduler is not None or jobs is not None or exec_backend is not None:
         # overrides never mutate the caller's spec object
+        overrides: Dict[str, object] = {}
+        if jobs:
+            overrides["jobs"] = jobs
+        if exec_backend is not None:
+            overrides["exec_backend"] = exec_backend
         campaign = CampaignSpec(
             programs=list(campaign.programs),
             strategies=list(campaign.strategies),
@@ -200,7 +208,7 @@ def run_campaign(
                 campaign.schedulers
             ),
             max_runs=campaign.max_runs,
-            config=dict(campaign.config, **({"jobs": jobs} if jobs else {})),
+            config=dict(campaign.config, **overrides),
         )
     planned_jobs = BatchPlanner().expand(campaign)
     ckpt = CampaignCheckpoint(checkpoint) if checkpoint else None

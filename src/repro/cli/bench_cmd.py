@@ -39,6 +39,7 @@ def cmd_bench(args) -> int:
             config=SearchConfig.from_options(
                 max_runs=args.max_runs,
                 jobs=args.jobs,
+                exec_backend=args.exec_backend,
                 **common.scheduler_option(args),
             ),
         )
@@ -51,6 +52,7 @@ def cmd_bench(args) -> int:
         "program": os.path.basename(args.program),
         "mode": args.mode,
         "jobs": args.jobs,
+        "exec_backend": args.exec_backend,
         "cache": not args.no_cache,
         "cache_dir": getattr(args, "cache_dir", None),
         "disk_hits": disk.hits if disk is not None else 0,
@@ -134,6 +136,12 @@ def register(sub) -> None:
         type=int,
         default=1,
         help="worker threads planning branch flips (same suite at any value)",
+    )
+    bench.add_argument(
+        "--exec-backend",
+        default="bytecode",
+        choices=["tree", "bytecode"],
+        help="execution core (see 'run --exec-backend')",
     )
     bench.add_argument(
         "--no-cache",

@@ -27,6 +27,7 @@ def cmd_campaign(args) -> int:
         fault_plan=args.fault_plan or "",
         scheduler=args.scheduler,
         jobs=args.jobs,
+        exec_backend=args.exec_backend,
         telemetry=telemetry,
         progress=_progress,
     )
@@ -110,6 +111,15 @@ def register(sub) -> None:
         help=(
             "per-search speculative planning threads (suite digests are "
             "identical at any value)"
+        ),
+    )
+    campaign.add_argument(
+        "--exec-backend",
+        default=None,
+        choices=["tree", "bytecode"],
+        help=(
+            "override the execution core for every job (default: the "
+            "spec's config, else bytecode); digests are identical"
         ),
     )
     campaign.add_argument(

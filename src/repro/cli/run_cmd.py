@@ -48,6 +48,7 @@ def cmd_run(args) -> int:
                     checkpoint_dir=checkpoint_dir,
                     checkpoint_every=args.checkpoint_every,
                     resume_from=args.resume,
+                    exec_backend=args.exec_backend,
                     **common.scheduler_option(args),
                 ),
                 _search_hook=_capture_store,
@@ -114,6 +115,15 @@ def register(sub) -> None:
         type=int,
         default=1,
         help="worker threads planning branch flips (same suite at any value)",
+    )
+    run.add_argument(
+        "--exec-backend",
+        default="bytecode",
+        choices=["tree", "bytecode"],
+        help=(
+            "execution core: bytecode (compiled register VM, default) or "
+            "tree (recursive AST walk); suites are byte-identical"
+        ),
     )
     run.add_argument("--corpus", default=None, help="save generated tests to JSON")
     run.add_argument("--report", default=None, help="write a markdown session report")

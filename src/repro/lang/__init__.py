@@ -31,6 +31,14 @@ from .lexer import Token, tokenize
 from .parser import parse_expression, parse_program
 from .natives import NativeFunction, NativeRegistry
 from .interp import Interpreter, RunResult, c_div, c_mod, truthy
+from .bytecode import (
+    CompiledFunction,
+    CompiledProgram,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_program,
+    run_concrete,
+)
 from .pretty import pretty_expr, pretty_program, pretty_stmt
 from .randprog import RandomProgram, generate_program
 
@@ -64,6 +72,12 @@ __all__ = [
     "NativeRegistry",
     "Interpreter",
     "RunResult",
+    "CompiledFunction",
+    "CompiledProgram",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_program",
+    "run_concrete",
     "c_div",
     "c_mod",
     "truthy",

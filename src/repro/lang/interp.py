@@ -125,13 +125,31 @@ class Interpreter:
         program: Program,
         natives: Optional[NativeRegistry] = None,
         step_budget: int = 1_000_000,
+        backend: str = "bytecode",
     ) -> None:
         self.program = program
         self.natives = natives if natives is not None else NativeRegistry()
         self.step_budget = step_budget
+        #: "bytecode" compiles the program once (cached per source digest)
+        #: and dispatches over flat instructions; "tree" is the recursive
+        #: AST walk kept as the differential reference.  Results are
+        #: byte-identical (digest-gated).
+        if backend not in ("tree", "bytecode"):
+            raise InterpError(f"unknown exec backend {backend!r}")
+        self.backend = backend
 
     def run(self, entry: str, inputs: Dict[str, int]) -> RunResult:
         """Execute ``entry`` with the given inputs and trace the path."""
+        if self.backend == "bytecode":
+            from .bytecode import compile_program, run_concrete
+
+            return run_concrete(
+                compile_program(self.program),
+                entry,
+                inputs,
+                self.natives,
+                self.step_budget,
+            )
         fn = self.program.function(entry)
         missing = [p for p in fn.params if p not in inputs]
         if missing:

@@ -98,6 +98,12 @@ class SearchConfig:
     resume_from: Optional[str] = None
     #: budget multiplier for the end-of-search retry of deferred flips
     defer_scale: float = 4.0
+    #: execution core: "bytecode" compiles the program once and runs both
+    #: the concrete and symbolic sides off a flat instruction stream
+    #: (:mod:`repro.lang.bytecode`); "tree" keeps the recursive AST walk
+    #: as the differential reference.  Suites and digests are byte-
+    #: identical between the two (CI-gated).
+    exec_backend: str = "bytecode"
 
     #: legacy keyword spellings accepted (once, with a warning) by
     #: :meth:`from_options` — kept so pre-facade call sites don't break
@@ -190,6 +196,11 @@ class SearchConfig:
             )
         if self.defer_scale <= 0:
             raise ReproError(f"defer_scale must be > 0 (got {self.defer_scale})")
+        if self.exec_backend not in ("tree", "bytecode"):
+            raise ReproError(
+                f"unknown exec_backend {self.exec_backend!r} "
+                "(allowed: tree, bytecode)"
+            )
         return self
 
 
@@ -400,7 +411,13 @@ class DirectedSearch:
         from ..core.hotg import HigherOrderBackend
 
         tm = manager if manager is not None else TermManager()
-        engine = ConcolicEngine(program, natives, mode, tm)
+        engine = ConcolicEngine(
+            program,
+            natives,
+            mode,
+            tm,
+            exec_backend=(config or SearchConfig()).exec_backend,
+        )
         store = store if store is not None else SampleStore()
         if mode is ConcretizationMode.HIGHER_ORDER:
             backend: TestGenBackend = HigherOrderBackend(

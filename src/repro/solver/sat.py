@@ -126,6 +126,15 @@ class SatSolver:
         self._activity: List[float] = []
         self._var_inc = 1.0
         self._var_decay = activity_decay
+        # decision order: indexed binary max-heap over (activity, -var).
+        # Every unassigned variable is always in the heap; variables
+        # assigned while heaped stay until lazily discarded at the root
+        # by _decide, and _backtrack reinserts any that fell out.  The
+        # root therefore equals the old linear scan's pick (max activity,
+        # ties to the lowest variable), keeping decisions — and digests —
+        # byte-identical while replacing the O(n) scan per decision.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = []     # var-1 -> heap index, -1 if absent
         self._max_conflicts = max_conflicts
         self._enable_restarts = enable_restarts
         self._n_assumed = 0
@@ -140,6 +149,8 @@ class SatSolver:
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
+        self._heap_pos.append(-1)
+        self._heap_insert(self._num_vars)
         return self._num_vars
 
     def num_vars(self) -> int:
@@ -259,9 +270,13 @@ class SatSolver:
     def _bump(self, var: int) -> None:
         self._activity[var - 1] += self._var_inc
         if self._activity[var - 1] > 1e100:
+            # uniform rescale preserves relative order (and exact ties),
+            # so the heap needs no repair
             for i in range(self._num_vars):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
+        if self._heap_pos[var - 1] >= 0:
+            self._heap_sift_up(self._heap_pos[var - 1])
 
     def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
         """First-UIP analysis; returns (learned clause, backjump level)."""
@@ -319,21 +334,83 @@ class SatSolver:
             var = abs(lit)
             self._assign[var - 1] = 0
             self._reason[var - 1] = None
+            if self._heap_pos[var - 1] < 0:
+                self._heap_insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
 
     # -- decision heuristics -------------------------------------------------------
 
+    def _heap_before(self, a: int, b: int) -> bool:
+        """Heap order: higher activity first, ties to the lower variable."""
+        aa = self._activity[a - 1]
+        ba = self._activity[b - 1]
+        return aa > ba or (aa == ba and a < b)
+
+    def _heap_insert(self, var: int) -> None:
+        heap = self._heap
+        heap.append(var)
+        self._heap_pos[var - 1] = len(heap) - 1
+        self._heap_sift_up(len(heap) - 1)
+
+    def _heap_sift_up(self, i: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        var = heap[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            if not self._heap_before(var, pvar):
+                break
+            heap[i] = pvar
+            pos[pvar - 1] = i
+            i = parent
+        heap[i] = var
+        pos[var - 1] = i
+
+    def _heap_pop_root(self) -> int:
+        heap = self._heap
+        pos = self._heap_pos
+        root = heap[0]
+        pos[root - 1] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last - 1] = 0
+            # sift down
+            i = 0
+            size = len(heap)
+            while True:
+                left = 2 * i + 1
+                if left >= size:
+                    break
+                best = left
+                right = left + 1
+                if right < size and self._heap_before(heap[right], heap[left]):
+                    best = right
+                if not self._heap_before(heap[best], heap[i]):
+                    break
+                heap[i], heap[best] = heap[best], heap[i]
+                pos[heap[i] - 1] = i
+                pos[heap[best] - 1] = best
+                i = best
+        return root
+
     def _decide(self) -> int:
-        """Pick an unassigned variable with maximal activity; 0 when none."""
-        best = 0
-        best_act = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assign[var - 1] == 0 and self._activity[var - 1] > best_act:
-                best = var
-                best_act = self._activity[var - 1]
-        return best
+        """Pick the unassigned variable with maximal activity; 0 when none.
+
+        Assigned variables encountered at the root are discarded lazily
+        (they re-enter via :meth:`_backtrack`); the surviving root matches
+        the old linear scan exactly.
+        """
+        heap = self._heap
+        while heap:
+            var = heap[0]
+            if self._assign[var - 1] == 0:
+                return var
+            self._heap_pop_root()
+        return 0
 
     # -- main search --------------------------------------------------------------
 

@@ -236,6 +236,7 @@ class ConcolicEngine:
         step_budget: int = 1_000_000,
         record_samples: bool = True,
         inject_checks: bool = True,
+        exec_backend: str = "bytecode",
     ) -> None:
         self.program = program
         self.natives = natives if natives is not None else NativeRegistry()
@@ -247,6 +248,13 @@ class ConcolicEngine:
         #: directed search can target division-by-zero and out-of-bounds
         #: bugs; generated violations are confirmed by execution
         self.inject_checks = inject_checks
+        #: "bytecode" runs the shadow off the compiled instruction stream
+        #: (:mod:`repro.lang.bytecode`); "tree" keeps the recursive AST
+        #: walk as the differential reference.  Both produce byte-identical
+        #: results (digest-gated).
+        if exec_backend not in ("tree", "bytecode"):
+            raise InterpError(f"unknown exec backend {exec_backend!r}")
+        self.exec_backend = exec_backend
         self._fn_symbols: Dict[str, FunctionSymbol] = {}
 
     # -- public API ----------------------------------------------------------
@@ -268,8 +276,21 @@ class ConcolicEngine:
             env[p] = SymValue(concrete=int(inputs[p]), term=var)
         self._input_names = set(fn.params)
         try:
-            self._exec_block(fn.body, env, result)
-            result.returned = 0
+            if self.exec_backend == "bytecode":
+                from ..lang.bytecode import compile_program, exec_concolic
+
+                value = exec_concolic(
+                    self,
+                    compile_program(self.program),
+                    entry,
+                    [env[p] for p in fn.params],
+                    result,
+                )
+                result.returned = value.concrete
+                result.returned_term = value.as_int_term(self.tm)
+            else:
+                self._exec_block(fn.body, env, result)
+                result.returned = 0
         except _ReturnSignal as ret:
             result.returned = ret.value.concrete
             result.returned_term = ret.value.as_int_term(self.tm)
@@ -539,38 +560,10 @@ class ConcolicEngine:
         if isinstance(expr, ArrayRef):
             arr = self._array(expr.name, env, expr.line)
             idx = self._eval(expr.index, env, result)
-            symbolic_idx = idx.is_symbolic
-            concrete_idx = self._resolve_index(idx, arr, expr.name, expr.line, result)
-            cell = arr[concrete_idx]
-            if symbolic_idx and self.mode is ConcretizationMode.SOUND_DELAYED:
-                # the read value inherits the deferred pins of the index
-                return SymValue(
-                    cell.concrete,
-                    cell.term,
-                    cell.bool_term,
-                    cell.pins | idx.pins | frozenset(self._input_deps(idx, result)),
-                )
-            return cell
+            return self._read_cell(arr, idx, expr.name, expr.line, result)
         if isinstance(expr, Unary):
             operand = self._eval(expr.operand, env, result)
-            if expr.op == "-":
-                term = operand.as_int_term(self.tm)
-                return SymValue(
-                    -operand.concrete,
-                    self.tm.mk_neg(term) if term is not None else None,
-                    pins=operand.pins,
-                )
-            if expr.op == "!":
-                concrete = 0 if truthy(operand.concrete) else 1
-                bool_term = operand.as_bool_term(self.tm)
-                return SymValue(
-                    concrete,
-                    bool_term=(
-                        self.tm.mk_not(bool_term) if bool_term is not None else None
-                    ),
-                    pins=operand.pins,
-                )
-            raise InterpError(f"unknown unary operator {expr.op!r}")
+            return self._apply_unary(expr.op, operand)
         if isinstance(expr, Binary):
             return self._eval_binary(expr, env, result)
         if isinstance(expr, Call):
@@ -579,16 +572,77 @@ class ConcolicEngine:
 
     # -- binary operators -------------------------------------------------------------
 
+    def _read_cell(
+        self,
+        arr: list,
+        idx: SymValue,
+        name: str,
+        line: int,
+        result: ConcolicResult,
+    ) -> SymValue:
+        """Array read past the index evaluation (shared with the VM)."""
+        symbolic_idx = idx.is_symbolic
+        concrete_idx = self._resolve_index(idx, arr, name, line, result)
+        cell = arr[concrete_idx]
+        if symbolic_idx and self.mode is ConcretizationMode.SOUND_DELAYED:
+            # the read value inherits the deferred pins of the index
+            return SymValue(
+                cell.concrete,
+                cell.term,
+                cell.bool_term,
+                cell.pins | idx.pins | frozenset(self._input_deps(idx, result)),
+            )
+        return cell
+
+    def _apply_unary(self, op: str, operand: SymValue) -> SymValue:
+        """Unary operator on an evaluated operand (shared with the VM)."""
+        if op == "-":
+            term = operand.as_int_term(self.tm)
+            return SymValue(
+                -operand.concrete,
+                self.tm.mk_neg(term) if term is not None else None,
+                pins=operand.pins,
+            )
+        if op == "!":
+            concrete = 0 if truthy(operand.concrete) else 1
+            bool_term = operand.as_bool_term(self.tm)
+            return SymValue(
+                concrete,
+                bool_term=(
+                    self.tm.mk_not(bool_term) if bool_term is not None else None
+                ),
+                pins=operand.pins,
+            )
+        raise InterpError(f"unknown unary operator {op!r}")
+
     def _eval_binary(
         self, expr: Binary, env: Dict[str, object], result: ConcolicResult
     ) -> SymValue:
-        op = expr.op
+        # both logical operators are STRICT, so every operator evaluates
+        # left then right before combining (see _apply_binary's note)
+        left = self._eval(expr.left, env, result)
+        right = self._eval(expr.right, env, result)
+        return self._apply_binary(expr.op, left, right, expr.line, result)
+
+    def _apply_binary(
+        self,
+        op: str,
+        left: SymValue,
+        right: SymValue,
+        line: int,
+        result: ConcolicResult,
+    ) -> SymValue:
+        """Binary operator on evaluated operands (shared with the VM).
+
+        Term construction order is part of the determinism contract: the
+        bytecode shadow loop calls this with the same operand values in
+        the same sequence as the tree walk, so hash-consed term ids — and
+        therefore digests — match across backends.
+        """
         tm = self.tm
         # strict logical operators (see the interpreter's note: the paper's
         # Example 3 derives both conjuncts of `if (A AND B)` into the pc)
         if op in ("&&", "||"):
-            left = self._eval(expr.left, env, result)
-            right = self._eval(expr.right, env, result)
             lt, rt = truthy(left.concrete), truthy(right.concrete)
             concrete = (
                 1 if (lt and rt if op == "&&" else lt or rt) else 0
@@ -603,8 +657,6 @@ class ConcolicEngine:
                 concrete, bool_term=bool_term, pins=left.pins | right.pins
             )
 
-        left = self._eval(expr.left, env, result)
-        right = self._eval(expr.right, env, result)
         lc, rc = left.concrete, right.concrete
         pins = left.pins | right.pins
         lt = left.as_int_term(tm)
@@ -632,11 +684,11 @@ class ConcolicEngine:
                 self.MUL_UF, (left, right), concrete, result, pins
             )
         if op in ("/", "%"):
-            self._inject_div_check(right, expr.line, result)
+            self._inject_div_check(right, line, result)
             try:
                 concrete = c_div(lc, rc) if op == "/" else c_mod(lc, rc)
             except DivisionByZero:
-                raise _ErrorSignal("division by zero", expr.line)
+                raise _ErrorSignal("division by zero", line)
             if not symbolic:
                 return SymValue(concrete, pins=pins)
             uf_name = self.DIV_UF if op == "/" else self.MOD_UF
@@ -774,19 +826,20 @@ class ConcolicEngine:
                 return SymValue(0)
             except _ReturnSignal as ret:
                 return ret.value
-        return self._eval_native(expr, args, result)
+        return self._apply_native(expr.name, args, result)
 
-    def _eval_native(
-        self, expr: Call, args: List[SymValue], result: ConcolicResult
+    def _apply_native(
+        self, name: str, args: List[SymValue], result: ConcolicResult
     ) -> SymValue:
+        """Native call on evaluated arguments (shared with the VM)."""
         tm = self.tm
         concrete_args = tuple(a.concrete for a in args)
-        concrete = self.natives.call(expr.name, concrete_args)
+        concrete = self.natives.call(name, concrete_args)
         symbolic = any(a.is_symbolic for a in args)
         pins = frozenset().union(*(a.pins for a in args)) if args else frozenset()
 
         if self.record_samples and args:
-            sym = self.function_symbol(expr.name, len(args))
+            sym = self.function_symbol(name, len(args))
             result.samples.append(Sample(sym, concrete_args, concrete))
 
         if not symbolic:
@@ -794,7 +847,7 @@ class ConcolicEngine:
             return SymValue(concrete, pins=pins)
 
         if self.mode is ConcretizationMode.HIGHER_ORDER:
-            sym = self.function_symbol(expr.name, len(args))
+            sym = self.function_symbol(name, len(args))
             terms = [
                 a.as_int_term(tm)
                 if a.as_int_term(tm) is not None
