@@ -45,7 +45,8 @@ from .engine.planner import (
     resolve_strategy,
 )
 from .engine.runner import CampaignCheckpoint, JobResult, ProcessPoolRunner
-from .errors import ReproError
+from .engine.supervisor import SupervisorConfig
+from .errors import ReproError, SearchInterrupted
 from .lang.ast import Program
 from .lang.natives import NativeRegistry
 from .lang.parser import parse_program
@@ -156,6 +157,9 @@ def run_campaign(
     jobs: Optional[int] = None,
     exec_backend: Optional[str] = None,
     telemetry: Optional[str] = None,
+    job_deadline: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    stall_timeout: Optional[float] = None,
     progress: Optional[Callable[[JobResult], None]] = None,
 ) -> CampaignReport:
     """Plan, execute, and merge a batch campaign of search jobs.
@@ -179,6 +183,17 @@ def run_campaign(
     ``campaign.jsonl`` (``repro stats --follow <dir>`` tails it live).
     Telemetry is answer-preserving: the campaign digest is byte-identical
     with it on or off.
+
+    Supervision (:mod:`repro.engine.supervisor`): ``job_deadline`` caps
+    each job's wall clock (enforced cooperatively inside the search and
+    defensively by the parent); ``max_attempts`` bounds the
+    deterministic retries a deadline-blown/killed/stalled job gets
+    before quarantine; ``stall_timeout`` arms the heartbeat watchdog
+    (needs ``telemetry``).  Retries are answer-preserving, so the
+    campaign digest stays byte-identical under supervision.  A
+    SIGINT/SIGTERM shutdown (flagged via :mod:`repro.interrupt`) drains
+    in-flight jobs and raises :class:`~repro.errors.SearchInterrupted`
+    carrying the checkpoint directory and a resume hint.
     """
     if isinstance(spec, CampaignSpec):
         campaign = spec
@@ -194,13 +209,22 @@ def run_campaign(
         campaign = CampaignSpec.paper_suite()
     else:
         campaign = CampaignSpec.load(str(spec))
-    if scheduler is not None or jobs is not None or exec_backend is not None:
+    if (
+        scheduler is not None
+        or jobs is not None
+        or exec_backend is not None
+        or job_deadline is not None
+    ):
         # overrides never mutate the caller's spec object
         overrides: Dict[str, object] = {}
         if jobs:
             overrides["jobs"] = jobs
         if exec_backend is not None:
             overrides["exec_backend"] = exec_backend
+        if job_deadline is not None:
+            # flows into every job's SearchConfig: the kernel enforces
+            # it cooperatively at run boundaries
+            overrides["job_deadline"] = float(job_deadline)
         campaign = CampaignSpec(
             programs=list(campaign.programs),
             strategies=list(campaign.strategies),
@@ -220,11 +244,22 @@ def run_campaign(
             saved.append(done)
         else:
             pending.append(job)
+    # supervision policy: the spec's job_deadline (possibly overridden
+    # above) also drives the parent's defensive timeouts
+    policy_kwargs: Dict[str, object] = {}
+    effective_deadline = float(campaign.config.get("job_deadline", 0.0) or 0.0)
+    if effective_deadline:
+        policy_kwargs["job_deadline"] = effective_deadline
+    if max_attempts is not None:
+        policy_kwargs["max_attempts"] = int(max_attempts)
+    if stall_timeout is not None:
+        policy_kwargs["stall_timeout"] = float(stall_timeout)
     runner = ProcessPoolRunner(
         workers=workers,
         cache_dir=cache_dir,
         fault_spec=fault_plan,
         telemetry_dir=telemetry,
+        supervisor=SupervisorConfig(**policy_kwargs) if policy_kwargs else None,
     )
     start = time.perf_counter()
 
@@ -234,13 +269,35 @@ def run_campaign(
         if progress is not None:
             progress(result)
 
-    fresh = runner.run(pending, progress=_finished)
+    try:
+        fresh = runner.run(pending, progress=_finished, checkpoint=ckpt)
+    except SearchInterrupted as exc:
+        # graceful shutdown: finished jobs are already checkpointed;
+        # flush what telemetry there is and surface how to resume
+        if exc.resume_hint is None and checkpoint:
+            base = spec if isinstance(spec, str) else "<spec>"
+            exc.resume_hint = f"repro campaign {base} --checkpoint {checkpoint}"
+        if telemetry:
+            from .obs.shipper import merge_shards
+
+            try:
+                merge_shards(telemetry)
+            except OSError:
+                pass
+        raise
     elapsed = time.perf_counter() - start
+    supervisor = runner.last_supervisor
     report = ResultMerger().merge(
         saved + fresh,
         seconds=elapsed,
         killed_workers=runner.killed_workers,
         resumed_jobs=len(saved),
+        retried_jobs=supervisor.retries if supervisor is not None else 0,
+        quarantined_jobs=(
+            supervisor.quarantined_jobs if supervisor is not None else ()
+        ),
+        stalled_jobs=supervisor.stalled_jobs if supervisor is not None else 0,
+        pool_rebuilds=supervisor.pool_rebuilds if supervisor is not None else 0,
     )
     if telemetry:
         from .obs.shipper import merge_shards

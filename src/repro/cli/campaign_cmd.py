@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from .. import api
+from ..interrupt import trap_signals
 from ..search.scheduler import scheduler_names
 
 __all__ = ["register", "cmd_campaign"]
@@ -19,18 +20,25 @@ def cmd_campaign(args) -> int:
     telemetry = args.telemetry
     if telemetry is None and args.follow_telemetry:
         telemetry = args.checkpoint
-    report = api.run_campaign(
-        args.spec,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        checkpoint=args.checkpoint,
-        fault_plan=args.fault_plan or "",
-        scheduler=args.scheduler,
-        jobs=args.jobs,
-        exec_backend=args.exec_backend,
-        telemetry=telemetry,
-        progress=_progress,
-    )
+    # SIGINT/SIGTERM request a graceful shutdown: the supervisor drains
+    # in-flight jobs, the checkpoint keeps what finished, and the exit-3
+    # handler prints the resume hint (a second signal aborts hard)
+    with trap_signals():
+        report = api.run_campaign(
+            args.spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            checkpoint=args.checkpoint,
+            fault_plan=args.fault_plan or "",
+            scheduler=args.scheduler,
+            jobs=args.jobs,
+            exec_backend=args.exec_backend,
+            telemetry=telemetry,
+            job_deadline=args.job_deadline,
+            max_attempts=args.max_attempts,
+            stall_timeout=args.stall_timeout,
+            progress=_progress,
+        )
     print(f"[campaign] {report.summary()}")
     print(f"  wall time: {report.seconds:.3f}s (workers={args.workers})")
     cache = report.cache_totals()
@@ -55,8 +63,15 @@ def cmd_campaign(args) -> int:
     if report.crash_buckets:
         for bucket, count in sorted(report.crash_buckets.items()):
             print(f"  crash bucket [{bucket}] x{count}")
+    if report.retried_jobs or report.pool_rebuilds or report.stalled_jobs:
+        print(
+            f"  supervisor: {report.retried_jobs} retries, "
+            f"{report.stalled_jobs} stalls, "
+            f"{report.pool_rebuilds} pool rebuilds"
+        )
     for job in report.failed_jobs:
-        print(f"  FAILED [{job.key}]: {job.error}")
+        label = "QUARANTINED" if job.quarantined else "FAILED"
+        print(f"  {label} [{job.key}]: {job.error}")
     print(f"  campaign digest: {report.campaign_digest}")
     if args.corpus:
         merged = report.merged_corpus()
@@ -158,12 +173,45 @@ def register(sub) -> None:
         ),
     )
     campaign.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock deadline, enforced cooperatively inside "
+            "the search and defensively by the parent; a blown deadline "
+            "salvages the partial suite and retries the job"
+        ),
+    )
+    campaign.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempts per job before quarantine (default 2; retries are "
+            "deterministic and answer-preserving)"
+        ),
+    )
+    campaign.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "heartbeat watchdog: declare a worker stalled after this "
+            "much telemetry silence and reschedule its job (needs "
+            "--telemetry; allow for shard buffering when choosing it)"
+        ),
+    )
+    campaign.add_argument(
         "--fault-plan",
         default=None,
         metavar="SPEC",
         help=(
             "deterministic fault injection (see 'run --fault-plan'); the "
-            "'worker-proc' site kills a job's worker process"
+            "'worker-proc' site kills a job's worker process, 'hang' "
+            "wedges a job until reclaimed, 'pool' breaks the worker pool"
         ),
     )
     campaign.add_argument(

@@ -58,7 +58,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.fn(args)
     except SearchInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
-        if exc.checkpoint_dir:
+        if exc.resume_hint:
+            print(f"resume with: {exc.resume_hint}", file=sys.stderr)
+        elif exc.checkpoint_dir:
             print(
                 f"resume with: repro run ... --resume {exc.checkpoint_dir}",
                 file=sys.stderr,

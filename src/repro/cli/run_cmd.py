@@ -6,6 +6,7 @@ import os
 
 from .. import api
 from ..faults import SITES, use_fault_plan
+from ..interrupt import trap_signals
 from ..search import DirectedSearch, SearchConfig
 from ..search.corpus import TestCorpus
 from ..search.scheduler import scheduler_names
@@ -31,9 +32,11 @@ def cmd_run(args) -> int:
     def _capture_store(search: DirectedSearch) -> None:
         store[0] = search.store
 
-    with common.CliObservability(args) as cli_obs, use_fault_plan(
-        common.fault_plan(args)
-    ):
+    # SIGINT/SIGTERM become a cooperative SearchInterrupted at the next
+    # run boundary — the checkpoint flushes and the exit-3 handler prints
+    # the resume hint (a second signal aborts hard)
+    with trap_signals(), common.CliObservability(args) as cli_obs, \
+            use_fault_plan(common.fault_plan(args)):
         with use_cache(cache) if cache is not None else common.null_context():
             result = api.generate_tests(
                 program,
@@ -49,6 +52,7 @@ def cmd_run(args) -> int:
                     checkpoint_every=args.checkpoint_every,
                     resume_from=args.resume,
                     exec_backend=args.exec_backend,
+                    job_deadline=args.job_deadline,
                     **common.scheduler_option(args),
                 ),
                 _search_hook=_capture_store,
@@ -95,6 +99,17 @@ def register(sub) -> None:
         choices=[m.value for m in ConcretizationMode],
     )
     run.add_argument("--max-runs", type=int, default=100)
+    run.add_argument(
+        "--job-deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline for the search, checked at run "
+            "boundaries; hitting it salvages the partial suite and exits "
+            "3 (0 = no deadline)"
+        ),
+    )
     run.add_argument(
         "--scheduler",
         default="dfs",

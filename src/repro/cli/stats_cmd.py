@@ -52,12 +52,17 @@ def render_campaign_view(stats: CampaignStats, directory: str) -> str:
     """The campaign rollup as one printable block (table + totals)."""
     lines: List[str] = []
     lines.append(f"[campaign] {directory}")
-    lines.append(
-        f"  jobs: {len(stats.jobs)} "
-        f"(done {stats.finished_jobs - stats.failed_jobs}, "
-        f"failed {stats.failed_jobs}, running {stats.running_jobs}); "
-        f"events: {stats.total_events}"
+    done = (
+        stats.finished_jobs - stats.failed_jobs - stats.quarantined_jobs
     )
+    jobs_line = (
+        f"  jobs: {len(stats.jobs)} "
+        f"(done {done}, "
+        f"failed {stats.failed_jobs}, running {stats.running_jobs}"
+    )
+    if stats.quarantined_jobs:
+        jobs_line += f", quarantined {stats.quarantined_jobs}"
+    lines.append(jobs_line + f"); events: {stats.total_events}")
     header = (
         f"  {'job':<44} {'state':<9} {'sched':<12} {'runs':>5} "
         f"{'tests':>5} {'errs':>4} {'div':>4} {'cov':>5} "
@@ -67,7 +72,11 @@ def render_campaign_view(stats: CampaignStats, directory: str) -> str:
     lines.append("  " + "-" * (len(header) - 2))
     for job in stats.ordered_jobs():
         key = job.key if len(job.key) <= 44 else job.key[:41] + "..."
-        state = {"done-checkpointed": "done"}.get(job.state, job.state)
+        state = {"done-checkpointed": "done", "quarantined": "quarant"}.get(
+            job.state, job.state
+        )
+        if job.attempts > 1 and state == "running":
+            state = f"retry-{job.attempts}"
         lines.append(
             f"  {key:<44} {state:<9} {job.scheduler:<12} {job.runs:>5} "
             f"{job.tests:>5} {job.errors:>4} {job.divergences:>4} "

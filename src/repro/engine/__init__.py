@@ -14,8 +14,12 @@ Three stages, composable or driven together by
   built-in paper suite, or a literal) into sorted, picklable
   :class:`~repro.engine.planner.SearchJob` units;
 - :class:`~repro.engine.runner.ProcessPoolRunner` executes them on a
-  spawn-safe process pool (``workers=1`` runs in-process), containing
-  worker deaths — injected via the ``worker-proc`` fault site or real —
+  spawn-safe process pool (``workers=1`` runs in-process), every
+  dispatch supervised by a
+  :class:`~repro.engine.supervisor.CampaignSupervisor` — per-job
+  deadlines, a heartbeat watchdog, bounded deterministic retry,
+  poison-job quarantine, and graceful shutdown — while worker deaths
+  (injected via the ``worker-proc`` fault site or real) are contained
   by recomputing the job in the parent;
 - :class:`~repro.engine.merger.ResultMerger` folds the per-job results
   into one :class:`~repro.engine.merger.CampaignReport` whose campaign
@@ -29,15 +33,18 @@ answer-preserving, so warmth changes wall time, never suites.
 from .merger import CampaignReport, ResultMerger
 from .planner import BatchPlanner, CampaignSpec, SearchJob
 from .runner import CampaignCheckpoint, JobResult, ProcessPoolRunner, run_job
+from .supervisor import CampaignSupervisor, SupervisorConfig
 
 __all__ = [
     "BatchPlanner",
     "CampaignCheckpoint",
     "CampaignReport",
     "CampaignSpec",
+    "CampaignSupervisor",
     "JobResult",
     "ProcessPoolRunner",
     "ResultMerger",
     "SearchJob",
+    "SupervisorConfig",
     "run_job",
 ]

@@ -36,6 +36,14 @@ class CampaignReport:
     killed_workers: int = 0
     #: jobs served from a campaign checkpoint instead of re-run
     resumed_jobs: int = 0
+    #: supervisor retry dispatches (attempts beyond each job's first)
+    retried_jobs: int = 0
+    #: keys of jobs quarantined after exhausting their attempt budget
+    quarantined_jobs: List[str] = field(default_factory=list)
+    #: jobs the heartbeat watchdog declared stalled at least once
+    stalled_jobs: int = 0
+    #: worker pools rebuilt after a break or a wedged worker
+    pool_rebuilds: int = 0
     #: crash buckets aggregated across jobs: bucket -> total count
     crash_buckets: Dict[str, int] = field(default_factory=dict)
     #: degradation-ladder downgrades aggregated across jobs
@@ -103,6 +111,7 @@ class CampaignReport:
             "misses": misses,
             "stores": totals.get("disk_stores", 0),
             "corrupt_skipped": totals.get("disk_skipped", 0),
+            "corrupt_removed": totals.get("disk_corrupt_removed", 0),
             "hit_rate": round(hits / lookups, 4) if lookups else None,
         }
 
@@ -133,6 +142,14 @@ class CampaignReport:
             parts.append(f"killed_workers={self.killed_workers}")
         if self.resumed_jobs:
             parts.append(f"resumed={self.resumed_jobs}")
+        if self.retried_jobs:
+            parts.append(f"retried={self.retried_jobs}")
+        if self.stalled_jobs:
+            parts.append(f"stalled={self.stalled_jobs}")
+        if self.pool_rebuilds:
+            parts.append(f"pool_rebuilds={self.pool_rebuilds}")
+        if self.quarantined_jobs:
+            parts.append(f"quarantined={len(self.quarantined_jobs)}")
         return " ".join(parts)
 
     def to_payload(self) -> Dict[str, object]:
@@ -152,6 +169,10 @@ class CampaignReport:
                 "tests": self.total_tests,
                 "killed_workers": self.killed_workers,
                 "resumed_jobs": self.resumed_jobs,
+                "retried_jobs": self.retried_jobs,
+                "quarantined_jobs": list(self.quarantined_jobs),
+                "stalled_jobs": self.stalled_jobs,
+                "pool_rebuilds": self.pool_rebuilds,
             },
             "crash_buckets": dict(self.crash_buckets),
             "downgrades": dict(self.downgrades),
@@ -194,6 +215,10 @@ class ResultMerger:
         seconds: float = 0.0,
         killed_workers: int = 0,
         resumed_jobs: int = 0,
+        retried_jobs: int = 0,
+        quarantined_jobs: Optional[Sequence[str]] = None,
+        stalled_jobs: int = 0,
+        pool_rebuilds: int = 0,
     ) -> CampaignReport:
         ordered = sorted(results, key=lambda r: r.key)
         keys = [r.key for r in ordered]
@@ -205,6 +230,10 @@ class ResultMerger:
             seconds=seconds,
             killed_workers=killed_workers,
             resumed_jobs=resumed_jobs,
+            retried_jobs=retried_jobs,
+            quarantined_jobs=sorted(quarantined_jobs or []),
+            stalled_jobs=stalled_jobs,
+            pool_rebuilds=pool_rebuilds,
         )
         digest = hashlib.sha256()
         for job in ordered:

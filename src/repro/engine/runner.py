@@ -21,19 +21,24 @@ on-disk cache, whose hits are answer-preserving by construction).  Results
 are merged in sorted job-key order regardless of completion order, so the
 campaign digest is byte-identical at every ``--workers`` value.
 
-Failure containment mirrors PR 3's worker-thread story one level up:
+Failure containment mirrors PR 3's worker-thread story one level up,
+and every dispatch runs under the recovery ladder of
+:class:`~repro.engine.supervisor.CampaignSupervisor` (deadlines →
+heartbeat watchdog → bounded retry → quarantine):
 
 - the ``worker-proc`` fault site fires in the parent at dispatch time,
   standing in for a worker process killed mid-job; the job is recomputed
   in-process and the kill counted (``engine.worker_kills``);
-- a genuinely broken pool (:class:`BrokenProcessPool`, pickling trouble)
-  downgrades the remaining jobs to in-process execution the same way;
+- a genuinely broken pool (:class:`BrokenProcessPool`, a wedged worker
+  the watchdog had to kill) is rebuilt once before the remaining jobs
+  downgrade to in-process execution;
 - a job whose *search* blows up returns ``ok=False`` with the error
   message — one bad program never takes down the campaign.
 
 Campaign checkpointing (:class:`CampaignCheckpoint`) journals finished
-jobs to ``<dir>/jobs.jsonl``; a rerun pointed at the same directory skips
-them and feeds the saved results straight to the merger.
+jobs and failed supervisor attempts to ``<dir>/jobs.jsonl``; a rerun
+pointed at the same directory skips finished jobs, feeds the saved
+results straight to the merger, and never re-fires spent attempts.
 """
 
 from __future__ import annotations
@@ -43,10 +48,18 @@ import os
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from ..errors import ReproError, SearchInterrupted
-from ..faults import FaultPlan, NULL_PLAN, current_fault_plan, use_fault_plan
+from ..errors import DeadlineExceeded, ReproError, SearchInterrupted
+from ..faults import (
+    FaultPlan,
+    NULL_PLAN,
+    use_fault_plan,
+    use_hang_request,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .supervisor import SupervisorConfig
 from ..lang.natives import NativeRegistry
 from ..lang.parser import parse_program
 from ..obs import Observability
@@ -67,7 +80,10 @@ __all__ = [
 ]
 
 #: JobResult payload schema version (checkpointed campaigns self-invalidate)
-JOB_RESULT_FORMAT = 2
+JOB_RESULT_FORMAT = 3
+
+#: traceback frames kept in :attr:`JobResult.error_trace` for diagnosis
+ERROR_TRACE_FRAMES = 5
 
 
 def build_natives(name: str) -> NativeRegistry:
@@ -95,10 +111,25 @@ class JobResult:
     scheduler: str = ""
     #: error message of a job that failed outright (ok=False)
     error: str = ""
+    #: truncated traceback tail of a failed job (diagnostics only: never
+    #: part of the campaign digest, which folds ``error`` — tracebacks
+    #: carry absolute paths that would break digest portability)
+    error_trace: str = ""
     #: the search ended on a (contained) SearchInterrupted
     interrupted: bool = False
+    #: the job ran past its wall-clock deadline (partial result salvaged;
+    #: under a supervisor this attempt failed and the job is retried)
+    deadline_exceeded: bool = False
     #: the job's worker process was killed and the job recomputed in-process
     killed_worker: bool = False
+    #: attempts the supervisor spent on this job (1 = first try succeeded)
+    attempts: int = 1
+    #: the job exhausted its attempt budget; this is its last salvaged
+    #: partial result, recorded so the campaign completes without it
+    quarantined: bool = False
+    #: the supervisor's watchdog declared this job's worker stalled at
+    #: least once (heartbeat silence) before the job finished
+    stalled: bool = False
     worker_pid: int = 0
     runs: int = 0
     paths: int = 0
@@ -133,8 +164,13 @@ class JobResult:
             "ok": self.ok,
             "scheduler": self.scheduler,
             "error": self.error,
+            "error_trace": self.error_trace,
             "interrupted": self.interrupted,
+            "deadline_exceeded": self.deadline_exceeded,
             "killed_worker": self.killed_worker,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+            "stalled": self.stalled,
             "worker_pid": self.worker_pid,
             "runs": self.runs,
             "paths": self.paths,
@@ -167,8 +203,13 @@ class JobResult:
             ok=bool(payload["ok"]),
             scheduler=str(payload.get("scheduler", "")),
             error=str(payload.get("error", "")),
+            error_trace=str(payload.get("error_trace", "")),
             interrupted=bool(payload.get("interrupted", False)),
+            deadline_exceeded=bool(payload.get("deadline_exceeded", False)),
             killed_worker=bool(payload.get("killed_worker", False)),
+            attempts=int(payload.get("attempts", 1)),
+            quarantined=bool(payload.get("quarantined", False)),
+            stalled=bool(payload.get("stalled", False)),
             worker_pid=int(payload.get("worker_pid", 0)),
             runs=int(payload.get("runs", 0)),
             paths=int(payload.get("paths", 0)),
@@ -196,7 +237,8 @@ class JobResult:
 
     def summary(self) -> str:
         if not self.ok:
-            return f"FAILED: {self.error}"
+            label = "QUARANTINED" if self.quarantined else "FAILED"
+            return f"{label}: {self.error}"
         extra = ""
         if self.crashes:
             extra += f" crashes={len(self.crashes)}"
@@ -204,11 +246,32 @@ class JobResult:
             extra += " interrupted"
         if self.killed_worker:
             extra += " (worker killed; recomputed)"
+        if self.attempts > 1:
+            extra += f" (attempt {self.attempts})"
         cov = f"{self.coverage:.0%}" if self.coverage is not None else "n/a"
         return (
             f"runs={self.runs} paths={self.paths} errors={len(self.errors)} "
             f"divergences={self.divergences} coverage={cov}" + extra
         )
+
+
+def _trace_tail(exc: BaseException) -> str:
+    """Last :data:`ERROR_TRACE_FRAMES` traceback frames of ``exc``.
+
+    Enough to diagnose a quarantined job straight from ``jobs.jsonl``
+    without re-running it; elided frames are marked so a deep recursion
+    doesn't balloon the checkpoint.
+    """
+    import traceback
+
+    frames = traceback.format_tb(exc.__traceback__)
+    tail = frames[-ERROR_TRACE_FRAMES:]
+    head = (
+        [f"  ... {len(frames) - ERROR_TRACE_FRAMES} frames elided ...\n"]
+        if len(frames) > ERROR_TRACE_FRAMES
+        else []
+    )
+    return "".join(head + tail + [f"{type(exc).__name__}: {exc}"]).rstrip()
 
 
 def _job_cache(cache_dir: Optional[str]) -> QueryCache:
@@ -259,6 +322,7 @@ def run_job(
     cache_dir: Optional[str] = None,
     fault_spec: str = "",
     telemetry_dir: Optional[str] = None,
+    hang: bool = False,
 ) -> JobResult:
     """Execute one job to completion in the current process.
 
@@ -273,6 +337,11 @@ def run_job(
     ``<telemetry_dir>/shards/`` for the parent to tail and merge.
     Telemetry is strictly read-side: the generated suite and its digest
     are byte-identical with telemetry on or off.
+
+    ``hang=True`` arms the injected ``hang`` fault for this job: the
+    search wedges at its next run boundary until its deadline (or an
+    external stop) reclaims it.  The supervisor passes it only on a
+    job's first attempt, which is what keeps retries answer-preserving.
     """
     from ..search.directed import DirectedSearch, SearchConfig
 
@@ -291,7 +360,8 @@ def run_job(
         natives = build_natives(job.natives)
         mode = ConcretizationMode(job.strategy)
         config = SearchConfig.from_options(**job.config)
-        with use_fault_plan(plan), use_registry(registry), use_cache(cache):
+        with use_fault_plan(plan), use_registry(registry), use_cache(cache), \
+                use_hang_request(hang):
             obs: Optional[Observability] = None
             if telemetry_dir:
                 shard = _open_telemetry_shard(telemetry_dir, job.key, registry)
@@ -307,12 +377,17 @@ def run_job(
             try:
                 result = search.run(dict(job.seed))
             except SearchInterrupted as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    out.deadline_exceeded = True
                 result = getattr(exc, "partial_result", None)
                 if result is None:
                     raise
     except Exception as exc:  # noqa: BLE001 - contained per-job failure
         out.ok = False
         out.error = f"{type(exc).__name__}: {exc}"
+        out.error_trace = _trace_tail(exc)
+        if isinstance(exc, DeadlineExceeded):
+            out.deadline_exceeded = True
         out.seconds = time.perf_counter() - start
         _seal_shard(shard, out)
         out.metrics = registry.snapshot()
@@ -361,6 +436,9 @@ def run_job(
         "disk_misses": disk.misses if disk is not None else 0,
         "disk_stores": disk.stores if disk is not None else 0,
         "disk_skipped": disk.skipped if disk is not None else 0,
+        "disk_corrupt_removed": (
+            disk.corrupt_removed if disk is not None else 0
+        ),
     }
     _seal_shard(shard, out)
     out.metrics = registry.snapshot()
@@ -394,6 +472,14 @@ class ProcessPoolRunner:
     order; downstream merging re-sorts by key anyway.  ``progress`` (if
     given) is called with each finished :class:`JobResult` as it lands,
     in completion order — display only, never ordering-relevant.
+
+    The runner owns *where* jobs execute; every dispatch is driven by a
+    :class:`~repro.engine.supervisor.CampaignSupervisor`, which owns
+    *whether they keep running* (deadlines, the heartbeat watchdog,
+    bounded retry, quarantine, pool rebuilds, graceful shutdown — see
+    :mod:`repro.engine.supervisor`).  At the default policy a healthy
+    campaign behaves exactly as before; the supervisor only shows its
+    hand when something wedges, dies, or a shutdown is requested.
     """
 
     def __init__(
@@ -402,6 +488,7 @@ class ProcessPoolRunner:
         cache_dir: Optional[str] = None,
         fault_spec: str = "",
         telemetry_dir: Optional[str] = None,
+        supervisor: Optional["SupervisorConfig"] = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1 (got {workers})")
@@ -410,8 +497,13 @@ class ProcessPoolRunner:
         self.fault_spec = fault_spec
         #: when set, every job ships its journal shard under this directory
         self.telemetry_dir = telemetry_dir
+        #: supervision policy (None = defaults: 2 attempts, no deadline)
+        self.supervisor_config = supervisor
         #: worker-process kills contained so far (fault-injected or real)
         self.killed_workers = 0
+        #: the supervisor of the most recent :meth:`run` (its tallies —
+        #: retries, quarantines, stalls, rebuilds — feed the merger)
+        self.last_supervisor = None
 
     # -- execution ---------------------------------------------------------
 
@@ -419,100 +511,23 @@ class ProcessPoolRunner:
         self,
         jobs: Sequence[SearchJob],
         progress: Optional[Callable[[JobResult], None]] = None,
+        checkpoint: Optional["CampaignCheckpoint"] = None,
     ) -> List[JobResult]:
-        jobs = list(jobs)
-        # dispatch-time fault decisions, one per job in job order: the
-        # firing pattern is a pure function of the plan, independent of
-        # pool size, so containment cannot perturb the campaign digest
-        plan = (
-            FaultPlan.parse(self.fault_spec)
-            if self.fault_spec
-            else current_fault_plan()
+        """Run ``jobs`` under supervision; results in the given job order.
+
+        ``checkpoint`` (if given) persists each failed attempt and each
+        finished job as it lands, making a SIGKILL'd campaign resumable
+        without re-firing spent attempts.  Raises
+        :class:`~repro.errors.SearchInterrupted` when a shutdown was
+        requested mid-campaign (finished jobs are checkpointed first).
+        """
+        from .supervisor import CampaignSupervisor
+
+        supervisor = CampaignSupervisor(
+            self, self.supervisor_config, checkpoint=checkpoint
         )
-        killed = [plan.should_fire("worker-proc") for _ in jobs]
-        if self.workers == 1 or len(jobs) <= 1:
-            results = [
-                self._run_contained(job, was_killed)
-                for job, was_killed in zip(jobs, killed)
-            ]
-            if progress is not None:
-                for result in results:
-                    progress(result)
-            return results
-        return self._run_pooled(jobs, killed, progress)
-
-    def _run_contained(self, job: SearchJob, was_killed: bool) -> JobResult:
-        """In-process execution (reference path and containment fallback)."""
-        result = run_job(job, self.cache_dir, self.fault_spec, self.telemetry_dir)
-        if was_killed:
-            result.killed_worker = True
-            self._count_kill()
-        return result
-
-    def _run_pooled(
-        self,
-        jobs: List[SearchJob],
-        killed: List[bool],
-        progress: Optional[Callable[[JobResult], None]],
-    ) -> List[JobResult]:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-        import multiprocessing as mp
-
-        _ensure_importable_by_children()
-        results: List[Optional[JobResult]] = [None] * len(jobs)
-        pending: Dict[object, int] = {}
-        pool_broken = False
-        executor = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(jobs)),
-            mp_context=mp.get_context("spawn"),
-        )
-        try:
-            for index, job in enumerate(jobs):
-                if killed[index]:
-                    # the injected kill: this job's worker "died"; recompute
-                    # in the parent, exactly like a real dead worker below
-                    results[index] = self._run_contained(job, True)
-                    if progress is not None:
-                        progress(results[index])
-                    continue
-                future = executor.submit(
-                    run_job, job, self.cache_dir, self.fault_spec,
-                    self.telemetry_dir,
-                )
-                pending[future] = index
-            from concurrent.futures import as_completed
-
-            for future in as_completed(list(pending)):
-                index = pending[future]
-                try:
-                    result = future.result()
-                except BrokenProcessPool:
-                    pool_broken = True
-                    break
-                except Exception:  # noqa: BLE001 - per-future containment
-                    result = self._recompute_after_kill(jobs[index])
-                results[index] = result
-                if progress is not None:
-                    progress(result)
-        finally:
-            executor.shutdown(wait=not pool_broken, cancel_futures=True)
-        if pool_broken or any(r is None for r in results):
-            # a worker (or the whole pool) died for real: finish the
-            # remaining jobs in-process — same results, slower wall clock
-            for index, result in enumerate(results):
-                if result is None:
-                    recomputed = self._recompute_after_kill(jobs[index])
-                    results[index] = recomputed
-                    if progress is not None:
-                        progress(recomputed)
-        return [r for r in results if r is not None]
-
-    def _recompute_after_kill(self, job: SearchJob) -> JobResult:
-        self._count_kill()
-        result = run_job(job, self.cache_dir, self.fault_spec, self.telemetry_dir)
-        result.killed_worker = True
-        return result
+        self.last_supervisor = supervisor
+        return supervisor.run(list(jobs), progress)
 
     def _count_kill(self) -> None:
         self.killed_workers += 1
@@ -522,11 +537,21 @@ class ProcessPoolRunner:
 
 
 class CampaignCheckpoint:
-    """Per-job completion journal for interrupt-safe campaigns.
+    """Per-job completion and attempt journal for interrupt-safe campaigns.
 
-    One JSONL line per finished job under ``<dir>/jobs.jsonl``.  Loading
-    tolerates truncated tails (a write cut short by the interruption that
-    the checkpoint exists to survive) and stale formats by skipping them.
+    Two kinds of JSONL lines under ``<dir>/jobs.jsonl``:
+
+    - a **result** line (a :class:`JobResult` payload, distinguished by
+      its ``format`` field) — the job is done and a rerun skips it;
+    - an **attempt** line (``{"attempt_of": key, "attempt": n, "outcome":
+      ..., ...}``) — one *failed* supervisor attempt, persisted so a
+      killed-and-resumed campaign continues the attempt count instead of
+      re-firing spent attempts (a job that already burned its budget is
+      quarantined immediately on resume, not retried from scratch).
+
+    Loading tolerates truncated tails (a write cut short by the
+    interruption that the checkpoint exists to survive) and stale formats
+    by skipping them.
     """
 
     FILENAME = "jobs.jsonl"
@@ -536,6 +561,8 @@ class CampaignCheckpoint:
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, self.FILENAME)
         self._done: Dict[str, JobResult] = {}
+        self._attempts: Dict[str, int] = {}
+        self._last_attempt: Dict[str, Dict[str, object]] = {}
         self._load()
         self._broken = False
 
@@ -547,8 +574,22 @@ class CampaignCheckpoint:
                     if not line:
                         continue
                     try:
-                        result = JobResult.from_payload(json.loads(line))
-                    except (json.JSONDecodeError, ReproError, KeyError, ValueError):
+                        payload = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(payload, dict):
+                        continue
+                    if "attempt_of" in payload:
+                        key = str(payload["attempt_of"])
+                        self._attempts[key] = max(
+                            self._attempts.get(key, 0),
+                            int(payload.get("attempt", 0) or 0),
+                        )
+                        self._last_attempt[key] = payload
+                        continue
+                    try:
+                        result = JobResult.from_payload(payload)
+                    except (ReproError, KeyError, ValueError, TypeError):
                         continue
                     self._done[result.key] = result
         except FileNotFoundError:
@@ -558,14 +599,54 @@ class CampaignCheckpoint:
         """The saved result for ``key``, if this campaign already ran it."""
         return self._done.get(key)
 
+    def attempts(self, key: str) -> int:
+        """Failed attempts already spent on ``key`` (this run + prior runs)."""
+        return self._attempts.get(key, 0)
+
+    def last_attempt(self, key: str) -> Optional[Dict[str, object]]:
+        """The most recent attempt-ledger line for ``key`` (for quarantine
+        salvage on resume), or None."""
+        return self._last_attempt.get(key)
+
     def record(self, result: JobResult) -> None:
         """Append one finished job (flushed immediately; best effort)."""
+        self._done[result.key] = result
+        self._append(result.to_payload())
+
+    def record_attempt(
+        self,
+        key: str,
+        attempt: int,
+        outcome: str,
+        error: str = "",
+        partial: Optional[JobResult] = None,
+    ) -> None:
+        """Append one failed attempt to the ledger (flushed immediately).
+
+        ``outcome`` names the failure class (``deadline``, ``error``,
+        ``pool``, ``stalled``, ``timeout``); ``partial`` carries the
+        attempt's salvaged partial result, kept so a quarantine after a
+        kill→resume can still surface the best result seen.
+        """
+        line: Dict[str, object] = {
+            "attempt_of": key,
+            "attempt": int(attempt),
+            "outcome": outcome,
+        }
+        if error:
+            line["error"] = error
+        if partial is not None:
+            line["partial"] = partial.to_payload()
+        self._attempts[key] = max(self._attempts.get(key, 0), int(attempt))
+        self._last_attempt[key] = line
+        self._append(line)
+
+    def _append(self, payload: Dict[str, object]) -> None:
         if self._broken:
             return
-        self._done[result.key] = result
         try:
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(result.to_payload(), sort_keys=True))
+                handle.write(json.dumps(payload, sort_keys=True))
                 handle.write("\n")
                 handle.flush()
         except OSError:

@@ -1,0 +1,770 @@
+"""Campaign supervision: deadlines, watchdog, bounded retry, quarantine.
+
+:class:`~repro.engine.runner.ProcessPoolRunner` owns *where* jobs run
+(in-process or a spawn-safe pool); this module owns *whether they keep
+running*.  :class:`CampaignSupervisor` wraps every job dispatch in a
+recovery ladder, cheapest reclaim first:
+
+1. **deadline** — the worker reclaims itself: the search kernel checks
+   its wall-clock budget at every run boundary and raises
+   :class:`~repro.errors.DeadlineExceeded`, salvaging the partial suite
+   (see :meth:`repro.search.kernel.SearchKernel._check_deadline`);
+2. **watchdog** — the parent reclaims a non-cooperative worker: it tails
+   the telemetry shards' ``run_executed`` heartbeats and declares a job
+   *stalled* after ``stall_timeout`` seconds of silence, plus a
+   defensive per-future timeout of ``2 × deadline + grace`` for workers
+   wedged past even that;
+3. **retry** — a deadline-blown/killed/stalled attempt is retried up to
+   ``max_attempts`` with deterministic (no-jitter) backoff.  Every
+   failed attempt is persisted to the campaign checkpoint's attempt
+   ledger, so a killed-and-resumed campaign continues the count instead
+   of re-firing spent attempts.  Retries are **answer-preserving**: the
+   dispatch-time fault decisions (``hang``, ``pool``, ``worker-proc``)
+   are consumed once per *job*, never per attempt, so a retried job
+   reproduces the fault-free result and campaign digests stay
+   byte-identical at every ``--workers`` value.  Only *infrastructure*
+   failures spend attempts — a job whose search fails deterministically
+   (``ok=False``) is a result, not a fault, and is recorded directly;
+4. **quarantine** — a job that exhausts its budget is recorded
+   ``quarantined`` with its last salvaged partial result and the
+   campaign completes without it, surfaced in the report and in
+   ``repro stats`` instead of taking the campaign down.
+
+A broken pool (:class:`BrokenProcessPool`, a wedged worker the watchdog
+had to kill) is **rebuilt** up to ``max_pool_rebuilds`` times — jobs
+in flight on the old pool are re-dispatched without spending attempts —
+and only past that budget does the campaign downgrade to in-process
+execution.
+
+Shutdown: the supervisor polls the process-wide interrupt flag
+(:mod:`repro.interrupt`) between dispatches.  On SIGINT/SIGTERM it
+drains in-flight jobs for ``drain_timeout`` seconds (completed results
+are checkpointed), abandons the rest, and raises
+:class:`~repro.errors.SearchInterrupted` so the CLI exits 3 with a
+resume hint.  Partial results produced *by* the shutdown itself are
+discarded, never checkpointed — resume re-runs those jobs and the
+resumed digest matches an uninterrupted run.
+
+Everything is metered (``engine.supervisor.*`` counters) and journaled
+(``job_retried`` / ``job_stalled`` / ``job_quarantined`` /
+``pool_rebuilt`` events to the current journal).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from ..errors import ReproError, SearchInterrupted
+from ..faults import FaultPlan, current_fault_plan
+from ..interrupt import interrupt_requested
+from ..obs.journal import current_journal
+from ..obs.metrics import default_registry
+from .planner import SearchJob
+from .runner import JobResult, run_job
+
+__all__ = ["SupervisorConfig", "CampaignSupervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision policy knobs; validated, deterministic, picklable."""
+
+    #: attempts per job before quarantine (1 = never retry)
+    max_attempts: int = 2
+    #: seconds slept before attempt N: ``retry_backoff * (N - 1)``
+    #: (deterministic, no jitter — jitter would make campaign wall time
+    #: a random variable for nothing: jobs never thundering-herd a
+    #: shared resource the way clients of one server do)
+    retry_backoff: float = 0.05
+    #: per-job wall-clock deadline the *parent* supervises against
+    #: (mirrors the jobs' ``SearchConfig.job_deadline``); 0 disables
+    job_deadline: float = 0.0
+    #: slack added to the defensive parent-side future timeout
+    #: (``2 * job_deadline + deadline_grace``) so a worker that is
+    #: merely slow to reach its cooperative check is not shot
+    deadline_grace: float = 5.0
+    #: heartbeat silence (seconds) before the watchdog declares a worker
+    #: stalled; 0 disables.  Needs telemetry shards to tail, and should
+    #: comfortably exceed one shard flush interval (shards buffer
+    #: :data:`~repro.obs.shipper.SHARD_FLUSH_EVERY` events)
+    stall_timeout: float = 0.0
+    #: broken/wedged pools rebuilt before downgrading to in-process
+    max_pool_rebuilds: int = 1
+    #: seconds granted to in-flight jobs when a shutdown is requested
+    drain_timeout: float = 5.0
+    #: event-loop wait quantum (watchdog resolution)
+    poll_interval: float = 0.2
+
+    def validate(self) -> "SupervisorConfig":
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1 (got {self.max_attempts})")
+        if self.retry_backoff < 0:
+            raise ReproError(
+                f"retry_backoff must be >= 0 (got {self.retry_backoff})"
+            )
+        if self.job_deadline < 0:
+            raise ReproError(f"job_deadline must be >= 0 (got {self.job_deadline})")
+        if self.stall_timeout < 0:
+            raise ReproError(
+                f"stall_timeout must be >= 0 (got {self.stall_timeout})"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ReproError(
+                f"max_pool_rebuilds must be >= 0 (got {self.max_pool_rebuilds})"
+            )
+        if self.drain_timeout < 0:
+            raise ReproError(
+                f"drain_timeout must be >= 0 (got {self.drain_timeout})"
+            )
+        if self.poll_interval <= 0:
+            raise ReproError(
+                f"poll_interval must be > 0 (got {self.poll_interval})"
+            )
+        return self
+
+
+class _JobState:
+    """Supervision bookkeeping for one job across its attempts."""
+
+    __slots__ = (
+        "job",
+        "index",
+        "killed",
+        "kill_counted",
+        "hang",
+        "pool",
+        "attempts",
+        "stalled",
+        "inprocess",
+        "result",
+        "last_outcome",
+        "last_error",
+        "last_partial",
+        "dispatched_at",
+        "last_seen",
+        "limit_at",
+    )
+
+    def __init__(
+        self,
+        job: SearchJob,
+        index: int,
+        killed: bool,
+        hang: bool,
+        pool: bool,
+        spent: int,
+    ) -> None:
+        self.job = job
+        self.index = index
+        #: dispatch-time ``worker-proc`` decision (legacy containment)
+        self.killed = killed
+        self.kill_counted = False
+        #: injected ``hang`` — armed for the first attempt only
+        self.hang = hang
+        #: injected ``pool`` break — first attempt only
+        self.pool = pool
+        #: failed attempts spent (includes prior runs via the ledger)
+        self.attempts = spent
+        self.stalled = False
+        #: force in-process execution (worker-proc containment, or a
+        #: worker death whose retry must be guaranteed to complete)
+        self.inprocess = killed
+        self.result: Optional[JobResult] = None
+        self.last_outcome = ""
+        self.last_error = ""
+        self.last_partial: Optional[JobResult] = None
+        self.dispatched_at = 0.0
+        self.last_seen = 0.0
+        self.limit_at: Optional[float] = None
+
+
+class CampaignSupervisor:
+    """Drive a batch of jobs to completion under the recovery ladder.
+
+    Built per :meth:`ProcessPoolRunner.run` call; exposes its tallies
+    (``retries``, ``quarantined_jobs``, ``stalled_jobs``,
+    ``pool_rebuilds``) for the merger to surface.
+    """
+
+    def __init__(
+        self,
+        runner,
+        config: Optional[SupervisorConfig] = None,
+        checkpoint=None,
+    ) -> None:
+        self.runner = runner
+        self.config = (config or SupervisorConfig()).validate()
+        self.checkpoint = checkpoint
+        #: retry dispatches performed (attempts beyond each job's first)
+        self.retries = 0
+        #: keys quarantined this run, in quarantine order
+        self.quarantined_jobs: List[str] = []
+        #: jobs the watchdog declared stalled at least once
+        self.stalled_jobs = 0
+        #: pools rebuilt after a break or a wedged worker
+        self.pool_rebuilds = 0
+        self._serial_only = False
+        self._executor = None
+        self._njobs = 0
+        self._progress: Optional[Callable[[JobResult], None]] = None
+        self._by_key: Dict[str, _JobState] = {}
+
+    # -- entry point -------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[SearchJob],
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        """Run ``jobs`` to completion; results in the given job order.
+
+        Raises :class:`SearchInterrupted` on a requested shutdown after
+        draining; everything finished by then is checkpointed.
+        """
+        jobs = list(jobs)
+        self._njobs = len(jobs)
+        self._progress = progress
+        # dispatch-time fault decisions, one consultation per job per
+        # site in job order: a pure function of the plan, independent of
+        # pool size and attempt count — the order (worker-proc, then
+        # hang, then pool) is frozen so pre-supervisor fault plans keep
+        # firing on exactly the jobs they used to
+        plan = (
+            FaultPlan.parse(self.runner.fault_spec)
+            if self.runner.fault_spec
+            else current_fault_plan()
+        )
+        killed = [plan.should_fire("worker-proc") for _ in jobs]
+        hangs = [plan.should_fire("hang") for _ in jobs]
+        pools = [plan.should_fire("pool") for _ in jobs]
+        states = [
+            _JobState(
+                job,
+                index,
+                killed[index],
+                hangs[index],
+                pools[index],
+                spent=self.checkpoint.attempts(job.key)
+                if self.checkpoint is not None
+                else 0,
+            )
+            for index, job in enumerate(jobs)
+        ]
+        self._by_key = {state.job.key: state for state in states}
+        if self.runner.workers == 1 or len(jobs) <= 1:
+            for state in states:
+                self._check_shutdown()
+                self._run_serial(state)
+            return [s.result for s in states if s.result is not None]
+        return self._run_pooled(states)
+
+    # -- serial path (workers=1: the reference execution) ------------------
+
+    def _run_serial(self, state: _JobState) -> None:
+        cfg = self.config
+        while state.result is None:
+            self._check_shutdown()
+            if state.attempts >= cfg.max_attempts:
+                self._quarantine(state)
+                return
+            attempt = state.attempts + 1
+            if state.pool:
+                # injected pool break: the attempt dies with the pool
+                # (no pool exists at workers=1; the attempt is spent,
+                # the rebuild path is exercised in the pooled mode)
+                state.pool = False
+                self._fail_attempt(
+                    state, attempt, "pool", "injected pool break (fault plan)"
+                )
+                continue
+            hang = state.hang
+            state.hang = False
+            if hang and state.killed:
+                hang = False  # the worker "died"; its hang is moot
+            if hang and not self._hang_reclaimable(pooled=False):
+                # nothing is armed to reclaim a wedged in-process search
+                # (no deadline, no watchdog): spending the attempt without
+                # wedging the whole campaign is the only sane move
+                self._fail_attempt(
+                    state,
+                    attempt,
+                    "hang",
+                    "injected hang with no deadline or watchdog to reclaim it",
+                )
+                continue
+            self._count_legacy_kill(state)
+            self._backoff(attempt)
+            result = run_job(
+                state.job,
+                self.runner.cache_dir,
+                self.runner.fault_spec,
+                self.runner.telemetry_dir,
+                hang=hang,
+            )
+            if result.interrupted and interrupt_requested():
+                # the salvaged partial is a shutdown artifact, not a
+                # result; resume re-runs this job from scratch
+                self._raise_shutdown()
+            self._settle(state, attempt, result)
+
+    # -- pooled path -------------------------------------------------------
+
+    def _run_pooled(self, states: List[_JobState]) -> List[JobResult]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from .runner import _ensure_importable_by_children
+
+        _ensure_importable_by_children()
+        cfg = self.config
+        queue: Deque[_JobState] = deque(states)
+        inflight: Dict[object, _JobState] = {}
+        reader = None
+        if cfg.stall_timeout > 0 and self.runner.telemetry_dir:
+            from ..obs.shipper import ShardReader
+
+            reader = ShardReader(self.runner.telemetry_dir)
+        try:
+            while queue or inflight:
+                if interrupt_requested():
+                    self._drain(inflight)
+                    self._raise_shutdown()
+                while queue:
+                    state = queue.popleft()
+                    self._dispatch(state, queue, inflight)
+                if not inflight:
+                    continue
+                done, _ = wait(
+                    list(inflight),
+                    timeout=cfg.poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broke = False
+                for future in done:
+                    state = inflight.pop(future, None)
+                    if state is None:
+                        continue  # already reassigned by a pool rebuild
+                    if self._collect(state, future, queue, inflight):
+                        pool_broke = True
+                        break
+                if inflight and not pool_broke:
+                    self._watch(inflight, queue, reader)
+        finally:
+            self._teardown_pool()
+        return [s.result for s in states if s.result is not None]
+
+    def _dispatch(
+        self,
+        state: _JobState,
+        queue: Deque[_JobState],
+        inflight: Dict[object, _JobState],
+    ) -> None:
+        cfg = self.config
+        if state.result is not None:
+            return
+        if state.attempts >= cfg.max_attempts:
+            self._quarantine(state)
+            return
+        attempt = state.attempts + 1
+        if state.pool:
+            # injected pool break "while the job runs": the attempt dies
+            # with the pool, jobs in flight are innocent bystanders —
+            # re-dispatched on the fresh pool without spending attempts
+            state.pool = False
+            self._fail_attempt(
+                state, attempt, "pool", "injected pool break (fault plan)"
+            )
+            queue.append(state)
+            if self._executor is not None:
+                for other in inflight.values():
+                    queue.append(other)
+                inflight.clear()
+                self._rebuild_pool("injected pool break")
+            return
+        hang = state.hang
+        state.hang = False
+        if hang and state.killed:
+            hang = False
+        if hang and not self._hang_reclaimable(pooled=True):
+            self._fail_attempt(
+                state,
+                attempt,
+                "hang",
+                "injected hang with no deadline or watchdog to reclaim it",
+            )
+            queue.append(state)
+            return
+        self._count_legacy_kill(state)
+        self._backoff(attempt)
+        executor = None if (state.inprocess or self._serial_only) else (
+            self._ensure_executor()
+        )
+        if executor is None:
+            # worker-proc containment / post-kill retry / downgraded
+            # pool: run in the parent, which guarantees completion
+            if hang and cfg.job_deadline <= 0:
+                # in the parent only the deadline can reclaim a wedge
+                # (the watchdog cannot kill its own process); spend the
+                # attempt rather than hang the whole campaign
+                self._fail_attempt(
+                    state,
+                    attempt,
+                    "hang",
+                    "injected hang with no deadline to reclaim it in-process",
+                )
+                queue.append(state)
+                return
+            result = run_job(
+                state.job,
+                self.runner.cache_dir,
+                self.runner.fault_spec,
+                self.runner.telemetry_dir,
+                hang=hang,
+            )
+            if result.interrupted and interrupt_requested():
+                return  # shutdown artifact; the loop top raises
+            self._settle(state, attempt, result, queue)
+            return
+        future = executor.submit(
+            run_job,
+            state.job,
+            self.runner.cache_dir,
+            self.runner.fault_spec,
+            self.runner.telemetry_dir,
+            hang,
+        )
+        now = time.monotonic()
+        state.dispatched_at = now
+        state.last_seen = now
+        state.limit_at = (
+            now + 2.0 * cfg.job_deadline + cfg.deadline_grace
+            if cfg.job_deadline > 0
+            else None
+        )
+        inflight[future] = state
+
+    def _collect(
+        self,
+        state: _JobState,
+        future,
+        queue: Deque[_JobState],
+        inflight: Dict[object, _JobState],
+    ) -> bool:
+        """Fold one finished future; True when the pool broke under it."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        attempt = state.attempts + 1
+        try:
+            result = future.result()
+        except BrokenProcessPool:
+            self._fail_attempt(
+                state, attempt, "pool", "worker pool broke mid-job"
+            )
+            queue.append(state)
+            for other in inflight.values():
+                queue.append(other)
+            inflight.clear()
+            self._rebuild_pool("broken process pool")
+            return True
+        except Exception as exc:  # noqa: BLE001 - per-future containment
+            # the worker died or its result could not cross the process
+            # boundary; count the kill (legacy containment metric) and
+            # guarantee the retry completes by running it in-process
+            self.runner._count_kill()
+            state.inprocess = True
+            self._fail_attempt(
+                state, attempt, "killed", f"{type(exc).__name__}: {exc}"
+            )
+            queue.append(state)
+            return False
+        if result.interrupted and interrupt_requested():
+            return False  # shutdown artifact; the loop top raises
+        self._settle(state, attempt, result, queue)
+        return False
+
+    def _watch(
+        self,
+        inflight: Dict[object, _JobState],
+        queue: Deque[_JobState],
+        reader,
+    ) -> None:
+        """Stall + defensive-timeout pass over the in-flight jobs."""
+        cfg = self.config
+        now = time.monotonic()
+        if reader is not None:
+            for job_key, _event in reader.poll():
+                seen = self._by_key.get(job_key)
+                if seen is not None:
+                    seen.last_seen = now
+        wedged = []
+        for future, state in inflight.items():
+            silent_for = now - max(state.dispatched_at, state.last_seen)
+            if reader is not None and silent_for > cfg.stall_timeout > 0:
+                wedged.append((future, state, "stalled"))
+            elif state.limit_at is not None and now > state.limit_at:
+                wedged.append((future, state, "timeout"))
+        if not wedged:
+            return
+        # a wedged worker can only be reclaimed by killing its process,
+        # which takes the whole pool down: fail the culprits' attempts,
+        # re-dispatch the innocents for free, rebuild
+        for future, state, outcome in wedged:
+            inflight.pop(future, None)
+            future.cancel()
+            if outcome == "stalled":
+                state.stalled = True
+                self.stalled_jobs += 1
+                self._count("engine.supervisor.stalled")
+                self._emit(
+                    "job_stalled",
+                    job=state.job.key,
+                    silence=round(cfg.stall_timeout, 3),
+                )
+                detail = (
+                    f"no heartbeat for {cfg.stall_timeout:g}s; worker killed"
+                )
+            else:
+                detail = (
+                    "worker overran the defensive deadline "
+                    f"({2 * cfg.job_deadline + cfg.deadline_grace:g}s); killed"
+                )
+            self._fail_attempt(state, state.attempts + 1, outcome, detail)
+            queue.append(state)
+        for other in inflight.values():
+            queue.append(other)
+        inflight.clear()
+        self._rebuild_pool("wedged worker")
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_executor(self):
+        if self._serial_only:
+            return None
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+            import multiprocessing as mp
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=min(self.runner.workers, max(1, self._njobs)),
+                mp_context=mp.get_context("spawn"),
+            )
+        return self._executor
+
+    def _teardown_pool(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        procs = list(getattr(executor, "_processes", {}).values() or [])
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - teardown is best effort
+            pass
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _rebuild_pool(self, reason: str) -> None:
+        self._teardown_pool()
+        if self.pool_rebuilds >= self.config.max_pool_rebuilds:
+            # rebuild budget exhausted: the rest of the campaign runs
+            # in-process — same results, slower wall clock
+            self._serial_only = True
+            self._emit("pool_downgraded", reason=reason)
+            return
+        self.pool_rebuilds += 1
+        self._count("engine.supervisor.pool_rebuilds")
+        self._emit("pool_rebuilt", reason=reason, rebuilds=self.pool_rebuilds)
+        # the executor itself is rebuilt lazily on the next dispatch
+
+    # -- attempt accounting ------------------------------------------------
+
+    def _failure(self, result: JobResult) -> Optional[str]:
+        """The failure outcome of an attempt, or None when it stands.
+
+        Only *infrastructure* failures (deadline here; killed / stalled /
+        timeout / pool at their detection sites) spend attempts.  A job
+        whose search fails deterministically (``ok=False``) is a result,
+        not a fault: the execution model makes re-running it
+        answer-preserving by construction, so a retry could only
+        reproduce the same error — it is recorded directly, exactly as
+        an unsupervised campaign would.
+        """
+        if result.deadline_exceeded:
+            return "deadline"
+        return None
+
+    def _settle(
+        self,
+        state: _JobState,
+        attempt: int,
+        result: JobResult,
+        queue: Optional[Deque[_JobState]] = None,
+    ) -> None:
+        outcome = self._failure(result)
+        if outcome is None:
+            self._finish(state, attempt, result)
+            return
+        if outcome == "deadline":
+            self._count("engine.supervisor.deadline_exceeded")
+            error = f"job deadline exceeded after {result.runs} runs"
+        else:
+            error = result.error
+        self._fail_attempt(state, attempt, outcome, error, partial=result)
+        if queue is not None:
+            queue.append(state)
+
+    def _fail_attempt(
+        self,
+        state: _JobState,
+        attempt: int,
+        outcome: str,
+        error: str = "",
+        partial: Optional[JobResult] = None,
+    ) -> None:
+        state.attempts = attempt
+        state.last_outcome = outcome
+        state.last_error = error
+        if partial is not None:
+            state.last_partial = partial
+        if self.checkpoint is not None:
+            self.checkpoint.record_attempt(
+                state.job.key, attempt, outcome, error=error, partial=partial
+            )
+        if attempt < self.config.max_attempts:
+            self.retries += 1
+            self._count("engine.supervisor.retries")
+            self._emit(
+                "job_retried",
+                job=state.job.key,
+                attempt=attempt + 1,
+                outcome=outcome,
+                error=error,
+            )
+
+    def _finish(self, state: _JobState, attempt: int, result: JobResult) -> None:
+        result.attempts = attempt
+        result.stalled = state.stalled
+        if state.killed:
+            result.killed_worker = True
+        state.result = result
+        if self._progress is not None:
+            self._progress(result)
+
+    def _quarantine(self, state: _JobState) -> None:
+        """Exhausted attempts: record the poison job and move on."""
+        outcome, error = state.last_outcome, state.last_error
+        partial = state.last_partial
+        if partial is None and self.checkpoint is not None:
+            # resume path: rebuild the salvage from the attempt ledger
+            ledger = self.checkpoint.last_attempt(state.job.key)
+            if ledger:
+                outcome = outcome or str(ledger.get("outcome", ""))
+                error = error or str(ledger.get("error", ""))
+                saved = ledger.get("partial")
+                if isinstance(saved, dict):
+                    try:
+                        partial = JobResult.from_payload(saved)
+                    except (ReproError, KeyError, ValueError, TypeError):
+                        partial = None
+        result = partial if partial is not None else JobResult(
+            key=state.job.key,
+            scheduler=str(state.job.config.get("scheduler", "dfs")),
+        )
+        result.ok = False
+        result.quarantined = True
+        result.attempts = state.attempts
+        result.stalled = state.stalled or result.stalled
+        if state.killed:
+            result.killed_worker = True
+        result.error = (
+            f"quarantined after {state.attempts} attempts "
+            f"(last failure: {outcome or 'unknown'}"
+            + (f": {error}" if error else "")
+            + ")"
+        )
+        state.result = result
+        self.quarantined_jobs.append(state.job.key)
+        self._count("engine.supervisor.quarantined")
+        self._emit(
+            "job_quarantined",
+            job=state.job.key,
+            attempts=state.attempts,
+            outcome=outcome,
+            error=result.error,
+        )
+        if self._progress is not None:
+            self._progress(result)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def _check_shutdown(self) -> None:
+        if interrupt_requested():
+            self._raise_shutdown()
+
+    def _raise_shutdown(self) -> None:
+        reason = interrupt_requested() or "signal"
+        self._count("engine.supervisor.shutdowns")
+        directory = (
+            self.checkpoint.directory if self.checkpoint is not None else None
+        )
+        message = f"campaign interrupted by {reason}"
+        if directory:
+            message += "; finished jobs are checkpointed"
+        raise SearchInterrupted(message, checkpoint_dir=directory)
+
+    def _drain(self, inflight: Dict[object, _JobState]) -> None:
+        """Give in-flight jobs ``drain_timeout`` seconds to land."""
+        if not inflight:
+            return
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        deadline = time.monotonic() + self.config.drain_timeout
+        while inflight and time.monotonic() < deadline:
+            done, _ = wait(
+                list(inflight), timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                state = inflight.pop(future, None)
+                if state is None:
+                    continue
+                try:
+                    result = future.result()
+                except Exception:  # noqa: BLE001 - draining is best effort
+                    continue
+                if result.interrupted:
+                    continue  # shutdown artifact; resume re-runs it
+                if self._failure(result) is None:
+                    self._finish(state, state.attempts + 1, result)
+        inflight.clear()
+
+    # -- small helpers -----------------------------------------------------
+
+    def _hang_reclaimable(self, pooled: bool) -> bool:
+        """Can *anything* reclaim a wedged search for this dispatch?"""
+        cfg = self.config
+        if cfg.job_deadline > 0:
+            return True  # the kernel reclaims itself at the deadline
+        return bool(
+            pooled and cfg.stall_timeout > 0 and self.runner.telemetry_dir
+        )
+
+    def _count_legacy_kill(self, state: _JobState) -> None:
+        """The dispatch-time ``worker-proc`` kill, counted once per job."""
+        if state.killed and not state.kill_counted:
+            state.kill_counted = True
+            self.runner._count_kill()
+
+    def _backoff(self, attempt: int) -> None:
+        if attempt > 1 and self.config.retry_backoff > 0:
+            time.sleep(self.config.retry_backoff * (attempt - 1))
+
+    def _count(self, name: str) -> None:
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter(name).inc()
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        current_journal().emit(kind, **fields)

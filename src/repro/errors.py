@@ -38,11 +38,30 @@ class SearchInterrupted(ReproError):
 
     The search flushes its checkpoint before this propagates, so an
     interrupted session can be continued with ``repro run --resume``.
+    ``resume_hint``, when set, is the exact command the CLI should print
+    (campaign interrupts resume with ``repro campaign ... --checkpoint``
+    rather than ``repro run ... --resume``).
     """
 
-    def __init__(self, message: str, checkpoint_dir: "str | None" = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        checkpoint_dir: "str | None" = None,
+        resume_hint: "str | None" = None,
+    ) -> None:
         super().__init__(message)
         self.checkpoint_dir = checkpoint_dir
+        self.resume_hint = resume_hint
+
+
+class DeadlineExceeded(SearchInterrupted):
+    """A job ran past its wall-clock deadline (``SearchConfig.job_deadline``).
+
+    Raised cooperatively by the search kernel at a run boundary, so the
+    partial result (suite, coverage, crash records so far) is salvaged
+    exactly like any other interrupt; the campaign supervisor treats it as
+    a failed *attempt* and retries the job up to its attempt budget.
+    """
 
 
 class FaultPlanError(ReproError):

@@ -27,6 +27,16 @@ checkpoint ``OSError`` on a checkpoint write — exercises checkpoint
            disabling
 kill       :class:`~repro.errors.SearchInterrupted` at a run boundary —
            exercises checkpoint/resume
+hang       a simulated *wedged* worker: the search kernel stops making
+           progress at a run boundary (sleeping, heartbeats silent) until
+           the job deadline or the supervisor's watchdog reclaims it —
+           exercises deadline enforcement and stall detection.  Decided
+           in the campaign parent at dispatch time (one consultation per
+           job, in job order, like ``worker-proc``) and only ever applied
+           to a job's *first* attempt, so retries are answer-preserving
+pool       the worker pool breaks (``BrokenProcessPool`` stand-in) while
+           the job runs — exercises the supervisor's rebuild-once path.
+           Dispatch-time like ``hang``
 ========== ===============================================================
 
 A plan is a set of per-site rules, parsed from a compact spec string::
@@ -72,6 +82,9 @@ __all__ = [
     "current_fault_plan",
     "set_fault_plan",
     "use_fault_plan",
+    "request_hang",
+    "consume_hang_request",
+    "use_hang_request",
 ]
 
 #: the injection sites wired through the engine
@@ -84,6 +97,8 @@ SITES = (
     "journal",
     "checkpoint",
     "kill",
+    "hang",
+    "pool",
 )
 
 
@@ -138,7 +153,11 @@ def _fault_error(site: str) -> Exception:
         return ResourceLimitError(marker)
     if site == "interp":
         return StepBudgetExceeded(marker)
-    if site in ("worker", "worker-proc", "scheduler"):
+    if site in ("worker", "worker-proc", "scheduler", "pool"):
+        return RuntimeError(marker)
+    if site == "hang":
+        # never raised in practice: the hang site wedges instead of
+        # raising (see request_hang); this exists for SITES completeness
         return RuntimeError(marker)
     if site in ("journal", "checkpoint"):
         return OSError(marker)
@@ -317,3 +336,41 @@ def use_fault_plan(
         yield plan
     finally:
         set_fault_plan(old)
+
+
+# -- the hang request channel ----------------------------------------------
+#
+# The ``hang`` site is decided in the campaign *parent* (one consultation
+# per job at dispatch time, so per-job fresh fault plans and retries can't
+# re-fire it), but the wedging happens deep in the worker's search kernel.
+# This process-wide flag is the channel between the two: the worker's
+# run_job sets it for a condemned job, and the kernel consumes it at the
+# next run boundary — mirroring how the kernel consults the current fault
+# plan, without the kernel importing engine code.
+
+_hang_requested = False
+
+
+def request_hang(value: bool = True) -> None:
+    """Arm (or disarm) the hang request for the current process's search."""
+    global _hang_requested
+    _hang_requested = bool(value)
+
+
+def consume_hang_request() -> bool:
+    """True exactly once after :func:`request_hang`; clears the flag."""
+    global _hang_requested
+    if _hang_requested:
+        _hang_requested = False
+        return True
+    return False
+
+
+@contextmanager
+def use_hang_request(value: bool) -> Iterator[None]:
+    """Scoped :func:`request_hang`; always disarms on exit."""
+    request_hang(value)
+    try:
+        yield
+    finally:
+        request_hang(False)

@@ -1,0 +1,115 @@
+"""Cooperative interruption: map external stop signals onto the search.
+
+The search already has one well-tested interruption story: raise
+:class:`~repro.errors.SearchInterrupted` at a run boundary, let the
+session flush its checkpoint, attach the partial result, and re-raise
+(see :meth:`repro.search.directed.DirectedSearch.run`).  This module
+connects *out-of-band* stop requests — SIGINT/SIGTERM, a supervisor's
+shutdown flag — to that same path, so ``kill -TERM`` salvages exactly
+what an injected ``kill`` fault would.
+
+Design: a process-wide request flag, not an exception from the signal
+handler.  Raising from a handler can land anywhere (inside a checkpoint
+write, mid solver pivot); setting a flag that the kernel polls at its
+run boundary keeps interruption points identical to the injected-kill
+fault site, which is what makes the exit-3 + resume contract hold.  A
+*second* signal escalates to an immediate :class:`KeyboardInterrupt`
+for operators who need out now.
+
+Campaign workers never install handlers (only the parent process traps
+signals); they poll the same flag, which matters for the ``--workers 1``
+in-process path where parent and worker share the process.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .errors import SearchInterrupted
+
+__all__ = [
+    "trap_signals",
+    "request_interrupt",
+    "clear_interrupt",
+    "interrupt_requested",
+    "check_interrupt",
+]
+
+_lock = threading.Lock()
+#: the pending stop request ("SIGINT", "SIGTERM", ...), or None
+_requested: Optional[str] = None
+
+
+def request_interrupt(reason: str) -> None:
+    """Ask every cooperative checkpoint in this process to stop soon."""
+    global _requested
+    with _lock:
+        if _requested is None:
+            _requested = reason
+
+
+def clear_interrupt() -> None:
+    """Drop any pending stop request (a new command starts clean)."""
+    global _requested
+    with _lock:
+        _requested = None
+
+
+def interrupt_requested() -> Optional[str]:
+    """The pending stop request's reason, or None."""
+    return _requested
+
+
+def check_interrupt() -> None:
+    """Raise :class:`SearchInterrupted` if a stop has been requested.
+
+    Called at the kernel's run boundary (next to the ``kill`` fault
+    site), so an external signal interrupts the search exactly where an
+    injected kill would — checkpoint flushed, partial result attached.
+    """
+    reason = _requested
+    if reason is not None:
+        raise SearchInterrupted(f"interrupted by {reason}")
+
+
+@contextmanager
+def trap_signals(
+    signals: "tuple[int, ...]" = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Route SIGINT/SIGTERM into the cooperative stop flag while active.
+
+    First signal: set the request flag (the search/campaign drains and
+    exits 3 with a resume hint).  Second signal: raise
+    :class:`KeyboardInterrupt` immediately.  Restores the previous
+    handlers — and clears any pending request — on exit.  Outside the
+    main thread (or where handlers cannot be installed) this is a no-op
+    context: the flag machinery still works, only the OS wiring is
+    skipped.
+    """
+    installed = {}
+
+    def _handler(signum, frame):  # noqa: ANN001 - signal API
+        name = signal.Signals(signum).name
+        if _requested is not None:
+            raise KeyboardInterrupt(name)
+        request_interrupt(name)
+
+    for signum in signals:
+        try:
+            installed[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):
+            # not the main thread / unsupported signal: cooperative flag
+            # still works, the OS hook just isn't ours to install
+            continue
+    try:
+        yield
+    finally:
+        for signum, old in installed.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):
+                continue
+        clear_interrupt()

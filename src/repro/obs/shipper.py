@@ -248,6 +248,8 @@ class JobTelemetry:
 
     key: str
     state: str = "running"
+    #: supervisor attempts observed (attempt-ledger lines + the result)
+    attempts: int = 1
     scheduler: str = ""
     worker: int = 0
     runs: int = 0
@@ -383,7 +385,13 @@ class CampaignStats:
         if not key:
             return
         job = self.job(key)
-        job.state = "failed" if not payload.get("ok", True) else "done-checkpointed"
+        if payload.get("quarantined"):
+            job.state = "quarantined"
+        elif not payload.get("ok", True):
+            job.state = "failed"
+        else:
+            job.state = "done-checkpointed"
+        job.attempts = max(job.attempts, int(payload.get("attempts", 1) or 1))
         job.scheduler = str(payload.get("scheduler", job.scheduler))
         job.worker = int(payload.get("worker_pid", job.worker))  # type: ignore[call-overload]
         job.runs = int(payload.get("runs", 0))  # type: ignore[call-overload]
@@ -444,9 +452,19 @@ class CampaignStats:
                     payload = json.loads(line)
                 except json.JSONDecodeError:
                     continue
-                if isinstance(payload, dict):
-                    self.fold_result(payload)
-                    folded += 1
+                if not isinstance(payload, dict):
+                    continue
+                if "attempt_of" in payload:
+                    # supervisor attempt-ledger line: N failed attempts
+                    # means the job is on (or ended after) attempt N+1
+                    job = self.job(str(payload["attempt_of"]))
+                    job.attempts = max(
+                        job.attempts,
+                        int(payload.get("attempt", 0) or 0) + 1,
+                    )
+                    continue
+                self.fold_result(payload)
+                folded += 1
         return folded
 
     # -- derived totals ----------------------------------------------------
@@ -458,11 +476,15 @@ class CampaignStats:
     def finished_jobs(self) -> int:
         return sum(
             1 for j in self.jobs.values() if j.state.startswith("done")
-        ) + self.failed_jobs
+        ) + self.failed_jobs + self.quarantined_jobs
 
     @property
     def failed_jobs(self) -> int:
         return sum(1 for j in self.jobs.values() if j.state == "failed")
+
+    @property
+    def quarantined_jobs(self) -> int:
+        return sum(1 for j in self.jobs.values() if j.state == "quarantined")
 
     @property
     def running_jobs(self) -> int:

@@ -98,6 +98,12 @@ class SearchConfig:
     resume_from: Optional[str] = None
     #: budget multiplier for the end-of-search retry of deferred flips
     defer_scale: float = 4.0
+    #: wall-clock budget (seconds) for one search session; 0 disables.
+    #: Enforced cooperatively at the kernel's run boundaries: on expiry
+    #: the session raises :class:`~repro.errors.DeadlineExceeded` (a
+    #: :class:`~repro.errors.SearchInterrupted`), so the partial suite is
+    #: salvaged and — under a campaign supervisor — the job is retried
+    job_deadline: float = 0.0
     #: execution core: "bytecode" compiles the program once and runs both
     #: the concrete and symbolic sides off a flat instruction stream
     #: (:mod:`repro.lang.bytecode`); "tree" keeps the recursive AST walk
@@ -196,6 +202,10 @@ class SearchConfig:
             )
         if self.defer_scale <= 0:
             raise ReproError(f"defer_scale must be > 0 (got {self.defer_scale})")
+        if self.job_deadline < 0:
+            raise ReproError(
+                f"job_deadline must be >= 0 (got {self.job_deadline})"
+            )
         if self.exec_backend not in ("tree", "bytecode"):
             raise ReproError(
                 f"unknown exec_backend {self.exec_backend!r} "

@@ -46,16 +46,19 @@ from __future__ import annotations
 
 import dataclasses
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import (
+    DeadlineExceeded,
     ReproError,
     ResourceLimitError,
     RunBudgetExhausted,
     SearchInterrupted,
 )
-from ..faults import current_fault_plan, set_fault_plan
+from ..faults import consume_hang_request, current_fault_plan, set_fault_plan
+from ..interrupt import check_interrupt
 from ..obs import Observability
 from ..solver.budget import DEFAULT_BUDGET, DEGRADED_BUDGET, use_budget
 from ..solver.terms import Term, TermManager
@@ -187,6 +190,9 @@ class SearchKernel:
         self._replay = replay
         self._suspended_plan = None
         self._probe_log: List[Dict[str, int]] = []
+        #: monotonic instant the session's wall-clock budget runs out
+        #: (None = no deadline); armed by :meth:`search`
+        self._deadline: Optional[float] = None
 
     # -- stage profiling ---------------------------------------------------
 
@@ -245,6 +251,8 @@ class SearchKernel:
     def search(self, seed_inputs: Dict[str, int]) -> None:
         """Run the staged pipeline from the seed until the frontier drains."""
         result = self.result
+        if self.config.job_deadline:
+            self._deadline = time.monotonic() + self.config.job_deadline
         self._begin_replay()
         expander = FrontierExpander(
             self.backend,
@@ -273,6 +281,11 @@ class SearchKernel:
         scheduler.push(first, 0, self.derive_flips(first, 0))
 
         while scheduler and not state.stop and result.runs < self.config.max_runs:
+            # the solve stages between runs can be arbitrarily slow, so
+            # the loop top is an interruption point of its own (the run
+            # boundary inside execute() covers the common case)
+            check_interrupt()
+            self._check_deadline()
             if self.obs.metrics.enabled:
                 self.obs.metrics.counter(
                     f"kernel.iterations.{scheduler.name}"
@@ -814,6 +827,10 @@ class SearchKernel:
         result = self.result
         obs = self.obs
         current_fault_plan().fire("kill")
+        check_interrupt()
+        if consume_hang_request():
+            self._hang()
+        self._check_deadline()
         try:
             with obs.tracer.span("execute") as exec_span:
                 run = self.engine.run(self.entry, inputs)
@@ -880,6 +897,46 @@ class SearchKernel:
             )
         self._maybe_checkpoint()
         return record
+
+    # -- deadline and injected hangs ---------------------------------------
+
+    def _check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceeded` once the wall-clock budget is gone."""
+        if self._deadline is None or time.monotonic() < self._deadline:
+            return
+        self._deadline_expired()
+
+    def _deadline_expired(self) -> None:
+        obs = self.obs
+        if obs.metrics.enabled:
+            obs.metrics.counter("search.deadline_exceeded").inc()
+        obs.emit(
+            "deadline_exceeded",
+            runs=self.result.runs,
+            deadline=self.config.job_deadline,
+        )
+        raise DeadlineExceeded(
+            f"job deadline of {self.config.job_deadline:g}s exceeded "
+            f"after {self.result.runs} runs"
+        )
+
+    def _hang(self) -> None:
+        """The injected ``hang`` fault: wedge at this run boundary.
+
+        Simulates a worker stuck in an unbounded solver query: no
+        progress, no heartbeats.  With a deadline armed the session
+        reclaims itself (:class:`DeadlineExceeded` salvages the partial
+        result); without one it wedges until an external stop request —
+        in a campaign, the supervisor's watchdog — reclaims the worker.
+        """
+        obs = self.obs
+        if obs.metrics.enabled:
+            obs.metrics.counter("search.hangs_injected").inc()
+        obs.emit("hang_injected", runs=self.result.runs)
+        while True:
+            self._check_deadline()
+            check_interrupt()
+            time.sleep(0.01)
 
     def _contain_crash(
         self,

@@ -32,9 +32,11 @@ Invalidation
 Every entry embeds a format header (:data:`DISKCACHE_FORMAT`).  An entry
 with the wrong header, malformed JSON (truncated write, disk corruption),
 or a payload that fails shape validation is treated as a **miss** — never
-an error — and counted as ``solver.diskcache.skipped``; the next store
-atomically replaces it.  Bumping :data:`DISKCACHE_FORMAT` therefore
-self-invalidates a whole cache directory without tooling.
+an error — counted as ``solver.diskcache.skipped``, and **deleted on
+first detection** (counted as ``solver.diskcache.corrupt_removed``) so a
+poisoned entry costs one failed parse ever, not one per lookup until the
+next store happens to replace it.  Bumping :data:`DISKCACHE_FORMAT`
+therefore self-invalidates a whole cache directory without tooling.
 
 Determinism contract
 --------------------
@@ -124,6 +126,8 @@ class DiskCache:
         self.stores = 0
         #: entries found on disk but unreadable (corrupt/stale format)
         self.skipped = 0
+        #: corrupt entries deleted on first detection
+        self.corrupt_removed = 0
 
     # -- addressing --------------------------------------------------------
 
@@ -148,6 +152,16 @@ class DiskCache:
             # truncated write, corruption, or a stale format: a miss, and
             # never fatal — the next store replaces the file atomically
             corrupt = True
+        removed = False
+        if corrupt:
+            # delete the poisoned entry now so it costs one failed parse
+            # ever; a concurrent writer replacing it first is fine (we
+            # unlink whatever is there, the next store re-publishes)
+            try:
+                os.unlink(path)
+                removed = True
+            except OSError:
+                pass
         with self._lock:
             if entry is not None:
                 self.hits += 1
@@ -155,6 +169,8 @@ class DiskCache:
                 self.misses += 1
                 if corrupt:
                     self.skipped += 1
+                if removed:
+                    self.corrupt_removed += 1
         registry = default_registry()
         if registry.enabled:
             registry.counter(
@@ -163,6 +179,8 @@ class DiskCache:
             ).inc()
             if corrupt:
                 registry.counter("solver.diskcache.skipped").inc()
+            if removed:
+                registry.counter("solver.diskcache.corrupt_removed").inc()
         return entry
 
     def store(self, key: Tuple[object, ...], entry: CachedResult) -> None:
