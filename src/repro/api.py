@@ -189,7 +189,8 @@ def run_campaign(
     defensively by the parent); ``max_attempts`` bounds the
     deterministic retries a deadline-blown/killed/stalled job gets
     before quarantine; ``stall_timeout`` arms the heartbeat watchdog
-    (needs ``telemetry``).  Retries are answer-preserving, so the
+    (requires ``telemetry`` — a positive value without it is rejected
+    with :class:`~repro.errors.ReproError`).  Retries are answer-preserving, so the
     campaign digest stays byte-identical under supervision.  A
     SIGINT/SIGTERM shutdown (flagged via :mod:`repro.interrupt`) drains
     in-flight jobs and raises :class:`~repro.errors.SearchInterrupted`
@@ -253,6 +254,16 @@ def run_campaign(
     if max_attempts is not None:
         policy_kwargs["max_attempts"] = int(max_attempts)
     if stall_timeout is not None:
+        if float(stall_timeout) > 0 and not telemetry:
+            # without shards to tail the watchdog would silently never
+            # arm — reject rather than let a wedged worker hang a
+            # campaign whose operator asked for stall detection
+            raise ReproError(
+                "stall_timeout needs a telemetry directory: the "
+                "heartbeat watchdog tails telemetry shards (pass "
+                "--telemetry DIR, or --follow-telemetry with "
+                "--checkpoint)"
+            )
         policy_kwargs["stall_timeout"] = float(stall_timeout)
     runner = ProcessPoolRunner(
         workers=workers,

@@ -31,10 +31,16 @@ recovery ladder, cheapest reclaim first:
    ``repro stats`` instead of taking the campaign down.
 
 A broken pool (:class:`BrokenProcessPool`, a wedged worker the watchdog
-had to kill) is **rebuilt** up to ``max_pool_rebuilds`` times — jobs
-in flight on the old pool are re-dispatched without spending attempts —
-and only past that budget does the campaign downgrade to in-process
-execution.
+had to kill) is **rebuilt** up to ``max_pool_rebuilds`` times — every
+job in flight on the old pool is an innocent bystander (which job
+poisoned a genuinely broken pool is unknowable) and is re-dispatched
+without spending attempts; only the *injected* ``pool`` fault, decided
+at dispatch time, charges its target's attempt so the retry path stays
+deterministic.  Past the rebuild budget the campaign downgrades to
+in-process execution.  In-process dispatches (worker-proc containment,
+post-kill retries, the downgraded pool) block this supervision loop
+while they run, so they are deferred until nothing is in flight —
+heartbeat and timeout supervision of pooled jobs is never suspended.
 
 Shutdown: the supervisor polls the process-wide interrupt flag
 (:mod:`repro.interrupt`) between dispatches.  On SIGINT/SIGTERM it
@@ -325,14 +331,34 @@ class CampaignSupervisor:
             from ..obs.shipper import ShardReader
 
             reader = ShardReader(self.runner.telemetry_dir)
+        deferred: List[_JobState] = []
         try:
-            while queue or inflight:
+            while True:
+                # every exit from this loop passes through this check:
+                # a shutdown flagged anywhere — including by an
+                # in-process dispatch or a collected shutdown artifact
+                # that emptied the queue — raises here instead of
+                # falling out with jobs silently dropped
                 if interrupt_requested():
                     self._drain(inflight)
                     self._raise_shutdown()
-                while queue:
+                if not queue and not inflight:
+                    break
+                while queue and not interrupt_requested():
                     state = queue.popleft()
+                    if (state.inprocess or self._serial_only) and inflight:
+                        # an in-process job runs synchronously right
+                        # here, suspending heartbeat/timeout supervision
+                        # of everything already in flight: hold it until
+                        # the pool is idle
+                        deferred.append(state)
+                        continue
                     self._dispatch(state, queue, inflight)
+                queue.extend(deferred)
+                deferred.clear()
+                if interrupt_requested():
+                    self._drain(inflight)
+                    self._raise_shutdown()
                 if not inflight:
                     continue
                 done, _ = wait(
@@ -423,7 +449,9 @@ class CampaignSupervisor:
                 hang=hang,
             )
             if result.interrupted and interrupt_requested():
-                return  # shutdown artifact; the loop top raises
+                # shutdown artifact: the dispatch loop stops on the
+                # flag and the pooled loop's post-dispatch check raises
+                return
             self._settle(state, attempt, result, queue)
             return
         future = executor.submit(
@@ -458,9 +486,13 @@ class CampaignSupervisor:
         try:
             result = future.result()
         except BrokenProcessPool:
-            self._fail_attempt(
-                state, attempt, "pool", "worker pool broke mid-job"
-            )
+            # the pool died, but *which* in-flight job poisoned it is
+            # unknowable from here — this future merely surfaced first.
+            # Every in-flight job (this one included) is an innocent
+            # bystander: re-dispatch all of them without spending
+            # attempts.  A genuinely poisonous job is still bounded,
+            # because rebuilds are capped and the downgraded in-process
+            # path has no pool to break
             queue.append(state)
             for other in inflight.values():
                 queue.append(other)
@@ -479,7 +511,10 @@ class CampaignSupervisor:
             queue.append(state)
             return False
         if result.interrupted and interrupt_requested():
-            return False  # shutdown artifact; the loop top raises
+            # shutdown artifact: not settled, and the pooled loop's
+            # top-of-iteration check raises even when this was the last
+            # in-flight future
+            return False
         self._settle(state, attempt, result, queue)
         return False
 
@@ -585,7 +620,9 @@ class CampaignSupervisor:
         """The failure outcome of an attempt, or None when it stands.
 
         Only *infrastructure* failures (deadline here; killed / stalled /
-        timeout / pool at their detection sites) spend attempts.  A job
+        timeout at their detection sites; the injected ``pool`` fault at
+        dispatch — a *real* pool break charges nobody) spend attempts.
+        A job
         whose search fails deterministically (``ok=False``) is a result,
         not a fault: the execution model makes re-running it
         answer-preserving by construction, so a retry could only

@@ -18,12 +18,19 @@ import signal
 import subprocess
 import sys
 import time
+from collections import deque
 
 import pytest
 
 from repro import api
 from repro.engine import CampaignCheckpoint, SupervisorConfig
-from repro.engine.runner import JOB_RESULT_FORMAT, JobResult, _trace_tail, run_job
+from repro.engine.runner import (
+    JOB_RESULT_FORMAT,
+    JobResult,
+    ProcessPoolRunner,
+    _trace_tail,
+    run_job,
+)
 from repro.engine.planner import BatchPlanner, CampaignSpec, SearchJob
 from repro.errors import DeadlineExceeded, ReproError, SearchInterrupted
 from repro.interrupt import (
@@ -308,10 +315,57 @@ class TestQuarantine:
         assert CampaignCheckpoint(ckpt_dir).attempts(jobs[0].key) == 2
 
 
+# -- pool breakage: innocent bystanders --------------------------------------
+
+
+class TestPoolBreakBlame:
+    def test_real_pool_break_charges_no_job(self):
+        # which in-flight job poisoned a genuinely broken pool is
+        # unknowable — the future that surfaces BrokenProcessPool first
+        # is arbitrary, so charging *it* an attempt could walk a healthy
+        # job into quarantine while the real culprit retries for free
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine.supervisor import CampaignSupervisor, _JobState
+
+        supervisor = CampaignSupervisor(ProcessPoolRunner(workers=2))
+        jobs = BatchPlanner().expand(_spec())
+        first = _JobState(jobs[0], 0, False, False, False, spent=0)
+        second = _JobState(jobs[1], 1, False, False, False, spent=0)
+
+        class _BrokenFuture:
+            def result(self):
+                raise BrokenProcessPool("pool died")
+
+        queue = deque()
+        inflight = {object(): second}
+        assert supervisor._collect(first, _BrokenFuture(), queue, inflight)
+        assert first.attempts == 0 and second.attempts == 0
+        assert list(queue) == [first, second]  # both requeued for free
+        assert not inflight
+        assert supervisor.retries == 0
+        assert supervisor.pool_rebuilds == 1  # bounded by rebuilds instead
+
+
 # -- heartbeat watchdog ------------------------------------------------------
 
 
 class TestWatchdog:
+    def test_stall_timeout_without_telemetry_rejected(self):
+        # without shards to tail the watchdog would silently never arm;
+        # the flag the operator asked for must not be inert
+        with pytest.raises(ReproError, match="telemetry"):
+            api.run_campaign(
+                _spec(n_programs=1), workers=2, stall_timeout=1.0
+            )
+
+    def test_stall_timeout_zero_without_telemetry_is_fine(self):
+        # an explicit 0 means "watchdog off" — nothing to reject
+        report = api.run_campaign(
+            _spec(n_programs=1), workers=1, stall_timeout=0.0
+        )
+        assert report.jobs
+
     def test_stall_watchdog_reclaims_wedged_worker(self, tmp_path):
         spec = _spec()
         clean = api.run_campaign(spec, workers=1)
@@ -376,6 +430,33 @@ def _wait_for_result_line(jobs_path, timeout=60.0):
 
 
 class TestGracefulShutdown:
+    def test_interrupt_during_inprocess_dispatch_raises(self, monkeypatch):
+        # regression: in the pooled path, an interrupt landing while a
+        # job ran in the parent (worker-proc containment / downgraded
+        # pool) returned its shutdown artifact without settling; once
+        # the queue drained with nothing in flight the loop exited
+        # before the interrupt check, so the campaign returned normally
+        # (exit 0) with the remaining jobs silently dropped
+        from repro.engine import supervisor as supervisor_mod
+
+        def wedge_then_interrupt(job, *args, **kwargs):
+            request_interrupt("SIGTERM")
+            return JobResult(key=job.key, interrupted=True)
+
+        monkeypatch.setattr(supervisor_mod, "run_job", wedge_then_interrupt)
+        # worker-proc on every job forces the in-process dispatch path
+        runner = ProcessPoolRunner(
+            workers=2, fault_spec="worker-proc:every=1"
+        )
+        jobs = BatchPlanner().expand(_spec())
+        assert len(jobs) > 1  # pooled path, with jobs left to drop
+        clear_interrupt()
+        try:
+            with pytest.raises(SearchInterrupted):
+                supervisor_mod.CampaignSupervisor(runner).run(jobs)
+        finally:
+            clear_interrupt()
+
     def test_interrupt_flag_stops_campaign_between_jobs(self, tmp_path):
         ckpt_dir = str(tmp_path / "ckpt")
         clear_interrupt()
