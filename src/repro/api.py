@@ -1,52 +1,67 @@
 """The stable library surface of :mod:`repro`.
 
-Everything a library user needs lives behind three functions —
+Everything a library user needs lives behind a small set of names —
 
 - :func:`generate_tests` — one directed search over one program;
-- :func:`run_campaign` — a batch of searches across worker processes,
-  with an optional persistent solver cache (:mod:`repro.engine`);
+- :class:`Client` / :class:`CampaignHandle` — submit campaigns and
+  watch them run: locally (a background campaign in this process) or
+  against a ``repro serve`` state dir (the campaign service);
 - :func:`replay` — re-execute a saved corpus and report outcome drift —
 
 plus the types they accept and return, re-exported here.  The CLI
-subcommands (``repro run``, ``repro campaign``, ``repro replay``) are
-thin wrappers over these same functions, so library and shell users hit
-identical code paths.
+subcommands (``repro run``, ``repro campaign``, ``repro serve`` /
+``submit``, ``repro replay``) are thin wrappers over these same
+classes, so library and shell users hit identical code paths.
+
+The campaign model is *submit → handle*::
+
+    from repro.api import Client
+
+    client = Client(workers=4, cache_dir=".repro-cache")
+    handle = client.submit("paper")
+    for event in handle.stream_events():   # optional: watch it run
+        ...
+    report = handle.wait()
+    print(report.summary(), report.campaign_digest)
+
+The same two calls against a service state dir submit to a running
+``repro serve`` fleet instead (and return even if the server finishes
+the campaign days later — results are durable)::
+
+    client = Client(state_dir="/var/run/repro")
+    handle = client.submit("paper", priority=2, tenant="ci")
+    report = handle.wait(timeout=600)
+
+:func:`run_campaign` — the pre-service one-shot entry point — still
+works and still returns the same byte-identical
+``campaign_digest``, but it is now a thin blocking wrapper over the
+local :class:`Client` and warns :class:`DeprecationWarning` once per
+process.  See docs/API.md for the migration table.
 
 Deep imports (``from repro.search.directed import DirectedSearch``, …)
 keep working, but only the names in :data:`__all__` here are covered by
 the compatibility promise documented in docs/API.md.
-
-Quickstart::
-
-    from repro import api
-
-    result = api.generate_tests('''
-        int obscure(int x, int y) {
-            if (x == hash(y)) { error("reached"); }
-            return 0;
-        }
-    ''', strategy="hotg", seed={"x": 33, "y": 42})
-    assert result.found_error
-
-    report = api.run_campaign("paper", workers=4, cache_dir=".repro-cache")
-    print(report.summary(), report.campaign_digest)
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional, Union
+import warnings
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from .engine.merger import CampaignReport, ResultMerger
 from .engine.planner import (
     BatchPlanner,
     CampaignSpec,
     SearchJob,
+    resolve_spec,
     resolve_strategy,
 )
 from .engine.runner import CampaignCheckpoint, JobResult, ProcessPoolRunner
 from .engine.supervisor import SupervisorConfig
 from .errors import ReproError, SearchInterrupted
+from .interrupt import clear_interrupt, interrupt_requested, request_interrupt
 from .lang.ast import Program
 from .lang.natives import NativeRegistry
 from .lang.parser import parse_program
@@ -54,13 +69,18 @@ from .obs import Observability
 from .search.corpus import ReplayReport, TestCorpus
 from .search.directed import DirectedSearch, SearchConfig, SearchResult
 from .search.report import suite_digest
-from .symbolic.concolic import ConcretizationMode
+from .service.client import ServiceClient
+from .service.state import submission_ticket
 
 __all__ = [
     # functions
     "generate_tests",
     "run_campaign",
     "replay",
+    # the campaign client surface
+    "Client",
+    "CampaignHandle",
+    "ServiceClient",
     # campaign types
     "BatchPlanner",
     "CampaignReport",
@@ -121,6 +141,8 @@ def generate_tests(
     zoo the CLI exposes; ``seed`` entries default to 0 per entry-point
     parameter.
     """
+    from .symbolic.concolic import ConcretizationMode
+
     program = _as_program(source)
     entry_fn = _default_entry(program, entry)
     mode = ConcretizationMode(resolve_strategy(strategy))
@@ -146,6 +168,512 @@ def generate_tests(
     return search.run(inputs)
 
 
+# ---------------------------------------------------------------------------
+# The campaign client surface
+# ---------------------------------------------------------------------------
+
+#: handle states with nothing left to wait for
+_TERMINAL = ("done", "cancelled", "failed")
+
+
+class CampaignHandle:
+    """One submitted campaign: observe, wait, cancel, fetch.
+
+    The contract both backends honour (local background execution and
+    the ``repro serve`` service):
+
+    - :meth:`status` — ``queued`` | ``running`` | ``done`` |
+      ``cancelled`` | ``failed``; :meth:`done` — terminal yet?
+    - :meth:`wait` — block for the :class:`CampaignReport`; raises
+      :class:`SearchInterrupted` on cancellation/shutdown and
+      :class:`ReproError` on failure or timeout.
+    - :meth:`result` — the report, if already finished (never blocks).
+    - :meth:`cancel` — request cooperative cancellation: jobs already
+      running finish (their results are kept), nothing new starts.
+    - :meth:`stream_events` — iterate telemetry events as they land.
+
+    ``ticket`` is the submission's content-addressed identity (SHA-256
+    of spec + options + tenant): equal campaigns get equal tickets.
+    """
+
+    ticket: str
+
+    def status(self) -> str:
+        raise NotImplementedError
+
+    def done(self) -> bool:
+        return self.status() in _TERMINAL
+
+    def wait(self, timeout: Optional[float] = None) -> CampaignReport:
+        raise NotImplementedError
+
+    def result(self) -> CampaignReport:
+        raise NotImplementedError
+
+    def cancel(self) -> bool:
+        raise NotImplementedError
+
+    def stream_events(
+        self, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.ticket[:12]}, {self.status()})"
+
+
+class _LocalHandle(CampaignHandle):
+    """A campaign running on a background thread of *this* process.
+
+    ``submit`` validates and plans synchronously (bad specs fail fast,
+    in the caller's stack), then hands the planned jobs to a daemon
+    thread driving the same runner/supervisor/merger path the engine
+    has always used — so digests, checkpoints, telemetry, and the
+    interrupt contract are unchanged.  ``wait`` re-raises whatever the
+    campaign raised (notably :class:`SearchInterrupted` on shutdown,
+    preserving the CLI's exit-3 + resume-hint behaviour).
+    """
+
+    def __init__(self, ticket: str, telemetry: Optional[str]) -> None:
+        self.ticket = ticket
+        self._telemetry = telemetry
+        self._report: Optional[CampaignReport] = None
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+        #: results as they land, for telemetry-less stream_events
+        self._landed: List[JobResult] = []
+        self._streamed = 0
+        self._thread: Optional[threading.Thread] = None
+
+    def _alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _start(self, execute: Callable[[], CampaignReport]) -> None:
+        def _run() -> None:
+            try:
+                self._report = execute()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in wait()
+                self._error = exc
+            finally:
+                # a cancel() sets the process-wide interrupt flag; once
+                # this campaign has honoured it, clear it so the *next*
+                # campaign in this process starts clean
+                if self._cancelled and interrupt_requested() == "cancel":
+                    clear_interrupt()
+
+        self._thread = threading.Thread(
+            target=_run, name=f"repro-campaign-{self.ticket[:12]}", daemon=True
+        )
+        self._thread.start()
+
+    def _note(self, result: JobResult) -> None:
+        self._landed.append(result)
+
+    def status(self) -> str:
+        if self._alive():
+            return "running"
+        if self._error is not None:
+            if isinstance(self._error, SearchInterrupted):
+                return "cancelled"
+            return "failed"
+        return "done"
+
+    def wait(self, timeout: Optional[float] = None) -> CampaignReport:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._alive():
+            # short joins keep the *caller's* thread responsive to
+            # signals: Ctrl-C lands here, flags the interrupt, and the
+            # campaign thread shuts down gracefully
+            self._thread.join(0.2)
+            if (
+                deadline is not None
+                and time.monotonic() >= deadline
+                and self._alive()
+            ):
+                raise ReproError(
+                    f"timed out after {timeout:g}s waiting for campaign "
+                    f"{self.ticket[:12]} (still running)"
+                )
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+    def result(self) -> CampaignReport:
+        if self._alive():
+            raise ReproError(
+                f"no result yet for {self.ticket[:12]} (status: running)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+    def cancel(self) -> bool:
+        if not self._alive():
+            return False
+        self._cancelled = True
+        request_interrupt("cancel")
+        return True
+
+    def stream_events(
+        self, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Yield events as the campaign runs.
+
+        With a telemetry directory configured this tails the journal
+        shards (the full per-run event stream); without one it degrades
+        to synthetic ``job_finished`` events, one per landed job.
+        """
+        reader = None
+        if self._telemetry:
+            from .obs.shipper import ShardReader
+
+            reader = ShardReader(self._telemetry)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            got = False
+            if reader is not None:
+                for job, event in reader.poll():
+                    got = True
+                    yield dict(event, job=job)
+            else:
+                while self._streamed < len(self._landed):
+                    result = self._landed[self._streamed]
+                    self._streamed += 1
+                    got = True
+                    yield {
+                        "kind": "job_finished",
+                        "job": result.key,
+                        "ok": result.ok,
+                        "tests": len(result.corpus),
+                    }
+            if not self._alive() and not got:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            if not got:
+                time.sleep(poll)
+
+
+class _RemoteHandle(CampaignHandle):
+    """A campaign owned by a ``repro serve`` fleet (delegates to
+    :class:`repro.service.client.ServiceHandle`)."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.ticket = inner.ticket
+
+    def status(self) -> str:
+        return self._inner.status()
+
+    def wait(self, timeout: Optional[float] = None) -> CampaignReport:
+        return self._inner.wait(timeout=timeout)
+
+    def result(self) -> CampaignReport:
+        return self._inner.result()
+
+    def cancel(self) -> bool:
+        return self._inner.cancel()
+
+    def stream_events(
+        self, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        return self._inner.stream_events(poll=poll, timeout=timeout)
+
+
+class Client:
+    """Submit campaigns; get :class:`CampaignHandle`\\ s back.
+
+    Two backends behind one surface:
+
+    - **local** (default): each :meth:`submit` runs the campaign on a
+      background thread of this process, with the worker pool, solver
+      cache, telemetry, and supervision policy configured here.
+    - **service** (``state_dir=...``): each :meth:`submit` drops a
+      durable submission into a ``repro serve`` state dir and returns
+      immediately; the server's fleet runs it (priority, tenant
+      fair-share, and quotas apply), and the handle observes by
+      reading the state dir — even across server restarts.
+
+    Execution-environment knobs (``workers``, ``cache_dir``,
+    ``telemetry``, supervision) live on the client; per-campaign
+    choices (the spec, ``scheduler``/``jobs``/``exec_backend``
+    overrides, ``priority``, ``tenant``) live on :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        telemetry: Optional[str] = None,
+        fault_plan: str = "",
+        job_deadline: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        stall_timeout: Optional[float] = None,
+    ) -> None:
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.telemetry = telemetry
+        self.fault_plan = fault_plan
+        self.job_deadline = job_deadline
+        self.max_attempts = max_attempts
+        self.stall_timeout = stall_timeout
+        self._service = (
+            ServiceClient(state_dir) if state_dir is not None else None
+        )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[str, CampaignSpec, Dict[str, object]],
+        *,
+        priority: int = 0,
+        tenant: str = "default",
+        checkpoint: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        jobs: Optional[int] = None,
+        exec_backend: Optional[str] = None,
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> CampaignHandle:
+        """Submit one campaign; returns its handle.
+
+        ``spec`` is a :class:`CampaignSpec`, a dict in the same shape, a
+        path to a ``.toml``/``.json`` spec file, or ``"paper"`` for the
+        built-in paper-example suite.  ``scheduler`` overrides the
+        spec's scheduler list with one frontier scheduler for every job;
+        ``jobs`` sets per-search speculative planning threads;
+        ``exec_backend`` forces the execution core.  The report's
+        ``campaign_digest`` is byte-identical at every ``workers`` (and
+        ``jobs``) value, across both execution backends, under retries,
+        and — because job results are pure functions of the job and the
+        solver cache — whether the campaign ran alone or interleaved
+        with others on a service fleet.
+
+        Local mode validates and plans synchronously: a bad spec raises
+        here, not from the handle.  ``checkpoint`` and ``progress`` are
+        local-only (the service checkpoints every campaign in its own
+        state-dir slot and streams progress via the handle);
+        ``priority`` and ``tenant`` only schedule anything in service
+        mode, but always participate in the content-addressed ticket.
+        """
+        if self._service is not None:
+            if checkpoint is not None:
+                raise ReproError(
+                    "checkpoint= is local-only: the service checkpoints "
+                    "every campaign under its state dir automatically"
+                )
+            if progress is not None:
+                raise ReproError(
+                    "progress= is local-only: stream a service campaign "
+                    "with handle.stream_events()"
+                )
+            inner = self._service.submit(
+                spec,
+                priority=priority,
+                tenant=tenant,
+                scheduler=scheduler,
+                jobs=jobs,
+                exec_backend=exec_backend,
+                job_deadline=self.job_deadline,
+            )
+            return _RemoteHandle(inner)
+        return self._submit_local(
+            spec,
+            tenant=tenant,
+            checkpoint=checkpoint,
+            scheduler=scheduler,
+            jobs=jobs,
+            exec_backend=exec_backend,
+            progress=progress,
+        )
+
+    def handle(self, ticket: str) -> CampaignHandle:
+        """Re-attach to an existing service submission by ticket
+        (prefixes allowed).  Service mode only: local campaigns live
+        and die with the handle returned by :meth:`submit`."""
+        if self._service is None:
+            raise ReproError(
+                "handle() needs a service client — construct "
+                "Client(state_dir=...) to re-attach to submissions"
+            )
+        return _RemoteHandle(self._service.handle(ticket))
+
+    # -- the local backend -------------------------------------------------
+
+    def _submit_local(
+        self,
+        spec: Union[str, CampaignSpec, Dict[str, object]],
+        *,
+        tenant: str,
+        checkpoint: Optional[str],
+        scheduler: Optional[str],
+        jobs: Optional[int],
+        exec_backend: Optional[str],
+        progress: Optional[Callable[[JobResult], None]],
+    ) -> CampaignHandle:
+        campaign = resolve_spec(spec)
+        if scheduler is not None:
+            campaign = campaign.with_overrides(scheduler=scheduler)
+        campaign = campaign.with_overrides(
+            jobs=jobs,
+            exec_backend=exec_backend,
+            job_deadline=self.job_deadline,
+        )
+        planned_jobs = BatchPlanner().expand(campaign)
+        # supervision policy: the spec's job_deadline (possibly
+        # overridden above) also drives the parent's defensive timeouts
+        policy_kwargs: Dict[str, object] = {}
+        effective_deadline = float(
+            campaign.config.get("job_deadline", 0.0) or 0.0  # type: ignore[arg-type]
+        )
+        if effective_deadline:
+            policy_kwargs["job_deadline"] = effective_deadline
+        if self.max_attempts is not None:
+            policy_kwargs["max_attempts"] = int(self.max_attempts)
+        if self.stall_timeout is not None:
+            if float(self.stall_timeout) > 0 and not self.telemetry:
+                # without shards to tail the watchdog would silently
+                # never arm — reject rather than let a wedged worker
+                # hang a campaign whose operator asked for stall
+                # detection
+                raise ReproError(
+                    "stall_timeout needs a telemetry directory: the "
+                    "heartbeat watchdog tails telemetry shards (pass "
+                    "--telemetry DIR, or --follow-telemetry with "
+                    "--checkpoint)"
+                )
+            policy_kwargs["stall_timeout"] = float(self.stall_timeout)
+        options: Dict[str, object] = {}
+        if scheduler is not None:
+            options["scheduler"] = scheduler
+        if jobs is not None:
+            options["jobs"] = jobs
+        if exec_backend is not None:
+            options["exec_backend"] = exec_backend
+        if self.job_deadline is not None:
+            options["job_deadline"] = self.job_deadline
+        ticket = submission_ticket(campaign.as_payload(), options, tenant)
+        spec_label = spec if isinstance(spec, str) else "<spec>"
+        handle = _LocalHandle(ticket, self.telemetry)
+
+        def _execute() -> CampaignReport:
+            return self._run_local(
+                campaign,
+                planned_jobs,
+                checkpoint=checkpoint,
+                spec_label=spec_label,
+                policy_kwargs=policy_kwargs,
+                progress=progress,
+                note=handle._note,
+            )
+
+        handle._start(_execute)
+        return handle
+
+    def _run_local(
+        self,
+        campaign: CampaignSpec,
+        planned_jobs: List[SearchJob],
+        *,
+        checkpoint: Optional[str],
+        spec_label: str,
+        policy_kwargs: Dict[str, object],
+        progress: Optional[Callable[[JobResult], None]],
+        note: Callable[[JobResult], None],
+    ) -> CampaignReport:
+        ckpt = CampaignCheckpoint(checkpoint) if checkpoint else None
+        pending = []
+        saved = []
+        for job in planned_jobs:
+            done = ckpt.completed(job.key) if ckpt is not None else None
+            if done is not None:
+                saved.append(done)
+            else:
+                pending.append(job)
+        runner = ProcessPoolRunner(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            fault_spec=self.fault_plan,
+            telemetry_dir=self.telemetry,
+            supervisor=(
+                SupervisorConfig(**policy_kwargs)  # type: ignore[arg-type]
+                if policy_kwargs
+                else None
+            ),
+        )
+        start = time.perf_counter()
+
+        def _finished(result: JobResult) -> None:
+            if ckpt is not None:
+                ckpt.record(result)
+            note(result)
+            if progress is not None:
+                progress(result)
+
+        try:
+            fresh = runner.run(pending, progress=_finished, checkpoint=ckpt)
+        except SearchInterrupted as exc:
+            # graceful shutdown: finished jobs are already checkpointed;
+            # flush what telemetry there is and surface how to resume
+            if exc.resume_hint is None and checkpoint:
+                exc.resume_hint = (
+                    f"repro campaign {spec_label} --checkpoint {checkpoint}"
+                )
+            if self.telemetry:
+                from .obs.shipper import merge_shards
+
+                try:
+                    merge_shards(self.telemetry)
+                except OSError:
+                    pass
+            raise
+        elapsed = time.perf_counter() - start
+        supervisor = runner.last_supervisor
+        report = ResultMerger().merge(
+            saved + fresh,
+            seconds=elapsed,
+            killed_workers=runner.killed_workers,
+            resumed_jobs=len(saved),
+            retried_jobs=supervisor.retries if supervisor is not None else 0,
+            quarantined_jobs=(
+                supervisor.quarantined_jobs if supervisor is not None else ()
+            ),
+            stalled_jobs=supervisor.stalled_jobs if supervisor is not None else 0,
+            pool_rebuilds=(
+                supervisor.pool_rebuilds if supervisor is not None else 0
+            ),
+        )
+        if self.telemetry:
+            from .obs.shipper import merge_shards
+
+            try:
+                _, report.journal_events = merge_shards(self.telemetry)
+                report.telemetry_dir = self.telemetry
+            except OSError:
+                # shipping is best-effort; the campaign already succeeded
+                report.telemetry_dir = self.telemetry
+        return report
+
+
+#: functions that have already warned this process (one-shot warnings)
+_DEPRECATED_ONCE: set = set()
+
+
+def _warn_deprecated(name: str, instead: str) -> None:
+    if name in _DEPRECATED_ONCE:
+        return
+    _DEPRECATED_ONCE.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; use {instead}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_campaign(
     spec: Union[str, CampaignSpec, Dict[str, object]],
     *,
@@ -162,164 +690,37 @@ def run_campaign(
     stall_timeout: Optional[float] = None,
     progress: Optional[Callable[[JobResult], None]] = None,
 ) -> CampaignReport:
-    """Plan, execute, and merge a batch campaign of search jobs.
+    """Plan, execute, and merge a batch campaign (deprecated spelling).
 
-    ``spec`` is a :class:`CampaignSpec`, a dict in the same shape, a path
-    to a ``.toml``/``.json`` spec file, or the string ``"paper"`` for the
-    built-in paper-example suite.  ``workers`` sizes the spawn-safe
-    process pool (1 = in-process); ``cache_dir`` attaches the persistent
-    solver cache shared by all workers and future runs; ``checkpoint``
-    names a directory where finished jobs are journaled so an interrupted
-    campaign resumes by skipping them.  ``scheduler`` overrides the
-    spec's scheduler list with one frontier scheduler for every job (see
-    :mod:`repro.search.scheduler`); ``jobs`` sets the per-search
-    speculative planning threads; ``exec_backend`` forces the execution
-    core (``"bytecode"`` or ``"tree"``) for every job.  The report's
-    ``campaign_digest`` is byte-identical at every ``workers`` (and
-    ``jobs``) value, and across both execution backends.
+    .. deprecated::
+        Use ``Client(...).submit(spec, ...).wait()`` — same semantics,
+        same byte-identical ``campaign_digest``, plus a handle you can
+        stream, cancel, or point at a ``repro serve`` fleet.  This
+        wrapper warns :class:`DeprecationWarning` once per process and
+        will keep working for the foreseeable future.
 
-    ``telemetry`` names a directory where every job ships its journal
-    shard; after the run the shards are merged into a deterministic
-    ``campaign.jsonl`` (``repro stats --follow <dir>`` tails it live).
-    Telemetry is answer-preserving: the campaign digest is byte-identical
-    with it on or off.
-
-    Supervision (:mod:`repro.engine.supervisor`): ``job_deadline`` caps
-    each job's wall clock (enforced cooperatively inside the search and
-    defensively by the parent); ``max_attempts`` bounds the
-    deterministic retries a deadline-blown/killed/stalled job gets
-    before quarantine; ``stall_timeout`` arms the heartbeat watchdog
-    (requires ``telemetry`` — a positive value without it is rejected
-    with :class:`~repro.errors.ReproError`).  Retries are answer-preserving, so the
-    campaign digest stays byte-identical under supervision.  A
-    SIGINT/SIGTERM shutdown (flagged via :mod:`repro.interrupt`) drains
-    in-flight jobs and raises :class:`~repro.errors.SearchInterrupted`
-    carrying the checkpoint directory and a resume hint.
+    All parameters mean exactly what they always did; see
+    :meth:`Client.submit` and docs/API.md for the new spellings.
     """
-    if isinstance(spec, CampaignSpec):
-        campaign = spec
-    elif isinstance(spec, dict):
-        campaign = CampaignSpec(
-            programs=list(spec.get("programs", [])),
-            strategies=[str(s) for s in spec.get("strategies", ["higher_order"])],
-            schedulers=[str(s) for s in spec.get("schedulers", ["dfs"])],
-            max_runs=int(spec.get("max_runs", 60)),  # type: ignore[arg-type]
-            config=dict(spec.get("config", {})),
-        )
-    elif spec == "paper":
-        campaign = CampaignSpec.paper_suite()
-    else:
-        campaign = CampaignSpec.load(str(spec))
-    if (
-        scheduler is not None
-        or jobs is not None
-        or exec_backend is not None
-        or job_deadline is not None
-    ):
-        # overrides never mutate the caller's spec object
-        overrides: Dict[str, object] = {}
-        if jobs:
-            overrides["jobs"] = jobs
-        if exec_backend is not None:
-            overrides["exec_backend"] = exec_backend
-        if job_deadline is not None:
-            # flows into every job's SearchConfig: the kernel enforces
-            # it cooperatively at run boundaries
-            overrides["job_deadline"] = float(job_deadline)
-        campaign = CampaignSpec(
-            programs=list(campaign.programs),
-            strategies=list(campaign.strategies),
-            schedulers=[scheduler] if scheduler is not None else list(
-                campaign.schedulers
-            ),
-            max_runs=campaign.max_runs,
-            config=dict(campaign.config, **overrides),
-        )
-    planned_jobs = BatchPlanner().expand(campaign)
-    ckpt = CampaignCheckpoint(checkpoint) if checkpoint else None
-    pending = []
-    saved = []
-    for job in planned_jobs:
-        done = ckpt.completed(job.key) if ckpt is not None else None
-        if done is not None:
-            saved.append(done)
-        else:
-            pending.append(job)
-    # supervision policy: the spec's job_deadline (possibly overridden
-    # above) also drives the parent's defensive timeouts
-    policy_kwargs: Dict[str, object] = {}
-    effective_deadline = float(campaign.config.get("job_deadline", 0.0) or 0.0)
-    if effective_deadline:
-        policy_kwargs["job_deadline"] = effective_deadline
-    if max_attempts is not None:
-        policy_kwargs["max_attempts"] = int(max_attempts)
-    if stall_timeout is not None:
-        if float(stall_timeout) > 0 and not telemetry:
-            # without shards to tail the watchdog would silently never
-            # arm — reject rather than let a wedged worker hang a
-            # campaign whose operator asked for stall detection
-            raise ReproError(
-                "stall_timeout needs a telemetry directory: the "
-                "heartbeat watchdog tails telemetry shards (pass "
-                "--telemetry DIR, or --follow-telemetry with "
-                "--checkpoint)"
-            )
-        policy_kwargs["stall_timeout"] = float(stall_timeout)
-    runner = ProcessPoolRunner(
+    _warn_deprecated("run_campaign", "Client(...).submit(...).wait()")
+    client = Client(
         workers=workers,
         cache_dir=cache_dir,
-        fault_spec=fault_plan,
-        telemetry_dir=telemetry,
-        supervisor=SupervisorConfig(**policy_kwargs) if policy_kwargs else None,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        job_deadline=job_deadline,
+        max_attempts=max_attempts,
+        stall_timeout=stall_timeout,
     )
-    start = time.perf_counter()
-
-    def _finished(result: JobResult) -> None:
-        if ckpt is not None:
-            ckpt.record(result)
-        if progress is not None:
-            progress(result)
-
-    try:
-        fresh = runner.run(pending, progress=_finished, checkpoint=ckpt)
-    except SearchInterrupted as exc:
-        # graceful shutdown: finished jobs are already checkpointed;
-        # flush what telemetry there is and surface how to resume
-        if exc.resume_hint is None and checkpoint:
-            base = spec if isinstance(spec, str) else "<spec>"
-            exc.resume_hint = f"repro campaign {base} --checkpoint {checkpoint}"
-        if telemetry:
-            from .obs.shipper import merge_shards
-
-            try:
-                merge_shards(telemetry)
-            except OSError:
-                pass
-        raise
-    elapsed = time.perf_counter() - start
-    supervisor = runner.last_supervisor
-    report = ResultMerger().merge(
-        saved + fresh,
-        seconds=elapsed,
-        killed_workers=runner.killed_workers,
-        resumed_jobs=len(saved),
-        retried_jobs=supervisor.retries if supervisor is not None else 0,
-        quarantined_jobs=(
-            supervisor.quarantined_jobs if supervisor is not None else ()
-        ),
-        stalled_jobs=supervisor.stalled_jobs if supervisor is not None else 0,
-        pool_rebuilds=supervisor.pool_rebuilds if supervisor is not None else 0,
+    handle = client.submit(
+        spec,
+        checkpoint=checkpoint,
+        scheduler=scheduler,
+        jobs=jobs,
+        exec_backend=exec_backend,
+        progress=progress,
     )
-    if telemetry:
-        from .obs.shipper import merge_shards
-
-        try:
-            _, report.journal_events = merge_shards(telemetry)
-            report.telemetry_dir = telemetry
-        except OSError:
-            # shipping is best-effort; the campaign itself already succeeded
-            report.telemetry_dir = telemetry
-    return report
+    return handle.wait()
 
 
 def replay(

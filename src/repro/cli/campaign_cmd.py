@@ -5,6 +5,7 @@ from __future__ import annotations
 from .. import api
 from ..interrupt import trap_signals
 from ..search.scheduler import scheduler_names
+from . import common
 
 __all__ = ["register", "cmd_campaign"]
 
@@ -24,21 +25,24 @@ def cmd_campaign(args) -> int:
     # in-flight jobs, the checkpoint keeps what finished, and the exit-3
     # handler prints the resume hint (a second signal aborts hard)
     with trap_signals():
-        report = api.run_campaign(
-            args.spec,
+        client = api.Client(
             workers=args.workers,
             cache_dir=args.cache_dir,
-            checkpoint=args.checkpoint,
-            fault_plan=args.fault_plan or "",
-            scheduler=args.scheduler,
-            jobs=args.jobs,
-            exec_backend=args.exec_backend,
             telemetry=telemetry,
+            fault_plan=args.fault_plan or "",
             job_deadline=args.job_deadline,
             max_attempts=args.max_attempts,
             stall_timeout=args.stall_timeout,
+        )
+        handle = client.submit(
+            args.spec,
+            checkpoint=args.checkpoint,
+            scheduler=args.scheduler,
+            jobs=args.jobs,
+            exec_backend=args.exec_backend,
             progress=_progress,
         )
+        report = handle.wait()
     print(f"[campaign] {report.summary()}")
     print(f"  wall time: {report.seconds:.3f}s (workers={args.workers})")
     cache = report.cache_totals()
@@ -137,15 +141,7 @@ def register(sub) -> None:
             "spec's config, else bytecode); digests are identical"
         ),
     )
-    campaign.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help=(
-            "persistent on-disk solver query cache shared by all workers "
-            "and future campaign runs"
-        ),
-    )
+    common.add_cache_dir_flag(campaign)
     campaign.add_argument(
         "--checkpoint",
         default=None,
@@ -155,15 +151,7 @@ def register(sub) -> None:
             "directory skips them"
         ),
     )
-    campaign.add_argument(
-        "--telemetry",
-        default=None,
-        metavar="DIR",
-        help=(
-            "ship per-job journal shards into DIR and merge them into "
-            "DIR/campaign.jsonl (answer-preserving; tail with 'repro top')"
-        ),
-    )
+    common.add_telemetry_flag(campaign)
     campaign.add_argument(
         "--follow-telemetry",
         action="store_true",
@@ -172,46 +160,12 @@ def register(sub) -> None:
             "'repro top <checkpoint-dir>' can watch this campaign live"
         ),
     )
-    campaign.add_argument(
-        "--job-deadline",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help=(
-            "per-job wall-clock deadline, enforced cooperatively inside "
-            "the search and defensively by the parent; a blown deadline "
-            "salvages the partial suite and retries the job"
-        ),
-    )
-    campaign.add_argument(
-        "--max-attempts",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "attempts per job before quarantine (default 2; retries are "
-            "deterministic and answer-preserving)"
-        ),
-    )
-    campaign.add_argument(
-        "--stall-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help=(
-            "heartbeat watchdog: declare a worker stalled after this "
-            "much telemetry silence and reschedule its job (needs "
-            "--telemetry; allow for shard buffering when choosing it)"
-        ),
-    )
-    campaign.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="SPEC",
-        help=(
-            "deterministic fault injection (see 'run --fault-plan'); the "
-            "'worker-proc' site kills a job's worker process, 'hang' "
-            "wedges a job until reclaimed, 'pool' breaks the worker pool"
+    common.add_supervision_flags(campaign)
+    common.add_fault_plan_flag(
+        campaign,
+        extra=(
+            "'worker-proc' kills a job's worker process, 'hang' wedges a "
+            "job until reclaimed, 'pool' breaks the worker pool"
         ),
     )
     campaign.add_argument(

@@ -38,7 +38,110 @@ __all__ = [
     "query_cache",
     "print_cache",
     "print_resilience",
+    "add_cache_dir_flag",
+    "add_fault_plan_flag",
+    "add_supervision_flags",
+    "add_telemetry_flag",
 ]
+
+
+# -- shared flag groups ------------------------------------------------------
+#
+# Every command that executes searches shares the same knobs for caching,
+# fault injection, supervision, and telemetry.  Defining them once keeps
+# the flag names, types, and help text in lockstep across ``repro run``,
+# ``repro campaign``, and ``repro serve``/``submit`` — a flag learned on
+# one subcommand means the same thing on the others.
+
+
+def add_cache_dir_flag(parser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent on-disk solver query cache shared by all workers "
+            "and future runs"
+        ),
+    )
+
+
+def add_fault_plan_flag(parser, extra: str = "") -> None:
+    from ..faults import SITES
+
+    text = (
+        "deterministic fault injection, e.g. "
+        "'solver:rate=0.2,seed=7;interp:at=3;kill:at=25' "
+        f"(sites: {', '.join(SITES)})"
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=text + (f"; {extra}" if extra else ""),
+    )
+
+
+def add_supervision_flags(
+    parser,
+    deadline_default: Optional[float] = None,
+    retry_flags: bool = True,
+) -> None:
+    """The supervision policy group: deadline, and (for campaign-style
+    commands) the retry/watchdog knobs.
+
+    ``repro run`` supervises a single search, so it only takes the
+    deadline (``retry_flags=False``); campaign-style commands
+    (``campaign``, ``serve``) add ``--max-attempts``/``--stall-timeout``.
+    """
+    group = parser.add_argument_group("supervision")
+    group.add_argument(
+        "--job-deadline",
+        type=float,
+        default=deadline_default,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock deadline, enforced cooperatively inside "
+            "the search and defensively by the parent; a blown deadline "
+            "salvages the partial suite"
+            + (" and retries the job" if retry_flags else "; exits 3")
+        ),
+    )
+    if not retry_flags:
+        return
+    group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempts per job before quarantine (default 2; retries are "
+            "deterministic and answer-preserving)"
+        ),
+    )
+    group.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "heartbeat watchdog: declare a worker stalled after this "
+            "much telemetry silence and reschedule its job (allow for "
+            "shard buffering when choosing it)"
+        ),
+    )
+
+
+def add_telemetry_flag(parser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "ship per-job journal shards into DIR and merge them into "
+            "DIR/campaign.jsonl (answer-preserving; tail with 'repro top')"
+        ),
+    )
 
 
 def parse_seed(text: str) -> Dict[str, int]:

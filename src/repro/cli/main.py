@@ -20,6 +20,7 @@ from . import (
     modes_cmd,
     replay_cmd,
     run_cmd,
+    serve_cmd,
     stats_cmd,
 )
 
@@ -31,6 +32,7 @@ _COMMANDS = (
     stats_cmd,
     bench_cmd,
     campaign_cmd,
+    serve_cmd,
     fuzz_cmd,
     modes_cmd,
     replay_cmd,

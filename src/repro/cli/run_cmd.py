@@ -5,7 +5,7 @@ from __future__ import annotations
 import os
 
 from .. import api
-from ..faults import SITES, use_fault_plan
+from ..faults import use_fault_plan
 from ..interrupt import trap_signals
 from ..search import DirectedSearch, SearchConfig
 from ..search.corpus import TestCorpus
@@ -99,17 +99,7 @@ def register(sub) -> None:
         choices=[m.value for m in ConcretizationMode],
     )
     run.add_argument("--max-runs", type=int, default=100)
-    run.add_argument(
-        "--job-deadline",
-        type=float,
-        default=0.0,
-        metavar="SECONDS",
-        help=(
-            "wall-clock deadline for the search, checked at run "
-            "boundaries; hitting it salvages the partial suite and exits "
-            "3 (0 = no deadline)"
-        ),
-    )
+    common.add_supervision_flags(run, deadline_default=0.0, retry_flags=False)
     run.add_argument(
         "--scheduler",
         default="dfs",
@@ -158,22 +148,8 @@ def register(sub) -> None:
         action="store_true",
         help="print span profile and metrics tables after the search",
     )
-    run.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="SPEC",
-        help=(
-            "deterministic fault injection, e.g. "
-            "'solver:rate=0.2,seed=7;interp:at=3;kill:at=25' "
-            f"(sites: {', '.join(SITES)})"
-        ),
-    )
-    run.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="persistent on-disk solver query cache shared across runs",
-    )
+    common.add_fault_plan_flag(run)
+    common.add_cache_dir_flag(run)
     run.add_argument(
         "--checkpoint",
         default=None,

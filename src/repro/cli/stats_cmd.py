@@ -41,6 +41,7 @@ __all__ = [
     "cmd_stats",
     "cmd_top",
     "render_campaign_view",
+    "render_service_view",
 ]
 
 
@@ -115,6 +116,128 @@ def render_campaign_view(stats: CampaignStats, directory: str) -> str:
             )
             lines.append(f"  scheduler counters: {parts}")
     return "\n".join(lines)
+
+
+def render_service_view(directory: str) -> str:
+    """A service state dir: scheduler queue + per-job rollups.
+
+    Everything is read from disk (submission records, checkpoints,
+    shards), so the view is accurate whether the server is running,
+    stopped, or was killed mid-lease: 'leased' counts jobs whose shards
+    show activity without a ``job_finished`` seal.
+    """
+    from ..service.state import ServiceState
+
+    state = ServiceState(directory)
+    records = state.records()
+    lines: List[str] = [f"[service] {state.state_dir}"]
+    if not records:
+        lines.append("  (no submissions)")
+        return "\n".join(lines)
+
+    # per-campaign stats, folded once and reused for the tenant rollup
+    per_campaign = {}
+    for record in records:
+        if record.status in ("running", "done", "cancelled"):
+            per_campaign[record.ticket] = _campaign_snapshot(
+                state.campaign_dir(record.ticket)
+            )
+
+    tenants = sorted({r.tenant for r in records})
+    header = (
+        f"  {'tenant':<16} {'queued':>6} {'leased':>6} {'done':>6} "
+        f"{'quarantined':>11} {'failed':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for tenant in tenants:
+        queued = leased = done = quarantined = failed = 0
+        for record in records:
+            if record.tenant != tenant:
+                continue
+            stats = per_campaign.get(record.ticket)
+            if record.status == "queued":
+                queued += _queued_jobs(state, record)
+            elif record.status == "failed":
+                failed += 1
+            elif stats is not None:
+                finished = stats.finished_jobs
+                quarantined += stats.quarantined_jobs
+                done += finished - stats.quarantined_jobs
+                leased += stats.running_jobs
+                if record.status == "running":
+                    queued += max(0, len(stats.jobs) - finished - stats.running_jobs)
+        lines.append(
+            f"  {tenant:<16} {queued:>6} {leased:>6} {done:>6} "
+            f"{quarantined:>11} {failed:>6}"
+        )
+
+    lines.append("")
+    for record in records:
+        line = (
+            f"  {record.ticket[:12]}  {record.status:<9} "
+            f"tenant={record.tenant} priority={record.priority}"
+        )
+        if record.error:
+            line += f"  ({record.error})"
+        lines.append(line)
+    for record in records:
+        if record.status == "running":
+            lines.append("")
+            lines.append(
+                render_campaign_view(
+                    per_campaign[record.ticket],
+                    f"{record.ticket[:12]} (tenant={record.tenant})",
+                )
+            )
+    return "\n".join(lines)
+
+
+def _queued_jobs(state, record) -> int:
+    """Planned-but-unstarted job count for a queued submission.
+
+    Best effort: a spec that fails to plan here will be marked failed by
+    the server anyway, so fall back to 0 rather than crash the view.
+    """
+    try:
+        from ..engine.planner import BatchPlanner, CampaignSpec
+
+        spec = CampaignSpec.from_payload(record.spec).with_overrides(
+            scheduler=record.options.get("scheduler"),
+            jobs=record.options.get("jobs"),
+            exec_backend=record.options.get("exec_backend"),
+            job_deadline=record.options.get("job_deadline"),
+        )
+        return len(BatchPlanner().expand(spec))
+    except Exception:  # noqa: BLE001 - display only
+        return 0
+
+
+def _service_stats(args, directory: str) -> int:
+    if not getattr(args, "follow", False):
+        print(render_service_view(directory))
+        return 0
+    import time as time_mod
+
+    ticks = 0
+    try:
+        while True:
+            view = render_service_view(directory)
+            if not args.no_clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(view)
+            print(
+                f"  (follow: tick {ticks + 1}, interval {args.interval}s; "
+                f"Ctrl-C to stop)"
+            )
+            sys.stdout.flush()
+            ticks += 1
+            if args.iterations and ticks >= args.iterations:
+                break
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _campaign_snapshot(directory: str) -> CampaignStats:
@@ -269,16 +392,25 @@ def _single_run_stats(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Single-run observability report, or campaign rollup for a directory."""
+    """Single-run observability report, or campaign/service rollup for a
+    directory."""
     if os.path.isdir(args.program):
+        from ..service.state import is_service_dir
+
+        if is_service_dir(args.program):
+            return _service_stats(args, args.program)
         return _campaign_stats(args)
     return _single_run_stats(args)
 
 
 def cmd_top(args) -> int:
     """``repro top`` — alias for ``repro stats --follow <campaign-dir>``."""
+    from ..service.state import is_service_dir
+
     args.program = args.campaign_dir
     args.follow = True
+    if is_service_dir(args.program):
+        return _service_stats(args, args.program)
     return _campaign_stats(args)
 
 
@@ -335,7 +467,10 @@ def register(sub) -> None:
     )
     stats.add_argument(
         "program",
-        help="MiniC program file, or a campaign checkpoint/telemetry directory",
+        help=(
+            "MiniC program file, a campaign checkpoint/telemetry "
+            "directory, or a service state dir (scheduler-queue view)"
+        ),
     )
     stats.add_argument("--entry", default=None)
     stats.add_argument("--seed", default="")

@@ -185,6 +185,51 @@ class CampaignReport:
             "journal_events": self.journal_events,
         }
 
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CampaignReport":
+        """Rebuild a report from :meth:`to_payload` (service ``result.json``).
+
+        The round-trip preserves everything a client can observe —
+        jobs, digest, totals, buckets — so a report fetched by ticket
+        is interchangeable with the one the campaign returned live.
+        """
+        totals = payload.get("totals", {})
+        if not isinstance(totals, dict):
+            totals = {}
+        return cls(
+            jobs=[
+                JobResult.from_payload(dict(j))
+                for j in payload.get("jobs", [])  # type: ignore[union-attr]
+            ],
+            campaign_digest=str(payload.get("campaign_digest", "")),
+            seconds=float(payload.get("seconds", 0.0)),  # type: ignore[arg-type]
+            killed_workers=int(totals.get("killed_workers", 0)),
+            resumed_jobs=int(totals.get("resumed_jobs", 0)),
+            retried_jobs=int(totals.get("retried_jobs", 0)),
+            quarantined_jobs=[
+                str(k) for k in totals.get("quarantined_jobs", [])
+            ],
+            stalled_jobs=int(totals.get("stalled_jobs", 0)),
+            pool_rebuilds=int(totals.get("pool_rebuilds", 0)),
+            crash_buckets={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(payload.get("crash_buckets", {})).items()
+            },
+            downgrades={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(payload.get("downgrades", {})).items()
+            },
+            counters={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(payload.get("counters", {})).items()
+            },
+            smt_check_seconds=float(
+                payload.get("smt_check_seconds", 0.0)  # type: ignore[arg-type]
+            ),
+            telemetry_dir=str(payload.get("telemetry_dir", "")),
+            journal_events=int(payload.get("journal_events", 0)),  # type: ignore[call-overload]
+        )
+
 
 class ResultMerger:
     """Fold job results into a :class:`CampaignReport` deterministically."""

@@ -26,14 +26,20 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ReproError
 from ..lang.parser import parse_program
 from ..search.scheduler import SCHEDULERS, scheduler_names
 from ..symbolic.concolic import ConcretizationMode
 
-__all__ = ["SearchJob", "CampaignSpec", "BatchPlanner", "NATIVES_NAMES"]
+__all__ = [
+    "SearchJob",
+    "CampaignSpec",
+    "BatchPlanner",
+    "NATIVES_NAMES",
+    "resolve_spec",
+]
 
 #: natives registries a job may name (resolved in the worker process;
 #: see repro.engine.runner.build_natives)
@@ -178,6 +184,90 @@ class CampaignSpec:
             max_runs=max_runs,
             config=dict(config or {}),
         )
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`as_payload` (or any dict in the
+        same shape — the campaign-spec JSON schema)."""
+        if not isinstance(payload, dict):
+            raise ReproError("campaign spec payload must be an object")
+        return cls(
+            programs=[dict(p) for p in payload.get("programs", [])],
+            strategies=[
+                str(s) for s in payload.get("strategies", ["higher_order"])
+            ],
+            schedulers=[str(s) for s in payload.get("schedulers", ["dfs"])],
+            max_runs=int(payload.get("max_runs", 60)),  # type: ignore[arg-type]
+            config=dict(payload.get("config", {})),
+        )
+
+    # -- serialization / derivation ----------------------------------------
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON-able form of the spec (durable submission records)."""
+        return {
+            "programs": [dict(p) for p in self.programs],
+            "strategies": list(self.strategies),
+            "schedulers": list(self.schedulers),
+            "max_runs": self.max_runs,
+            "config": dict(self.config),
+        }
+
+    def with_overrides(
+        self,
+        scheduler: Optional[str] = None,
+        jobs: Optional[int] = None,
+        exec_backend: Optional[str] = None,
+        job_deadline: Optional[float] = None,
+    ) -> "CampaignSpec":
+        """A copy with CLI-style overrides folded in; never mutates self.
+
+        ``scheduler`` replaces the scheduler list wholesale; the rest
+        land in ``config`` where every job's SearchConfig picks them up
+        (``job_deadline`` is also what the supervisor's parent-side
+        defensive timeout keys off).
+        """
+        if (
+            scheduler is None
+            and jobs is None
+            and exec_backend is None
+            and job_deadline is None
+        ):
+            return self
+        overrides: Dict[str, object] = {}
+        if jobs:
+            overrides["jobs"] = jobs
+        if exec_backend is not None:
+            overrides["exec_backend"] = exec_backend
+        if job_deadline is not None:
+            overrides["job_deadline"] = float(job_deadline)
+        return CampaignSpec(
+            programs=list(self.programs),
+            strategies=list(self.strategies),
+            schedulers=[scheduler] if scheduler is not None else list(
+                self.schedulers
+            ),
+            max_runs=self.max_runs,
+            config=dict(self.config, **overrides),
+        )
+
+
+def resolve_spec(
+    spec: Union["CampaignSpec", Dict[str, object], str]
+) -> CampaignSpec:
+    """Resolve every accepted spec spelling into a :class:`CampaignSpec`.
+
+    Accepts a spec object (returned as-is), a dict in the spec-file
+    shape, the string ``"paper"`` for the built-in paper-example suite,
+    or a path to a ``.toml``/``.json`` spec file.
+    """
+    if isinstance(spec, CampaignSpec):
+        return spec
+    if isinstance(spec, dict):
+        return CampaignSpec.from_payload(spec)
+    if spec == "paper":
+        return CampaignSpec.paper_suite()
+    return CampaignSpec.load(str(spec))
 
 
 class BatchPlanner:

@@ -529,6 +529,25 @@ class ProcessPoolRunner:
         self.last_supervisor = supervisor
         return supervisor.run(list(jobs), progress)
 
+    def serve(
+        self,
+        source,
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> int:
+        """Serve job leases from ``source`` until it runs dry.
+
+        The open-ended counterpart of :meth:`run` for the campaign
+        service: ``source`` is a
+        :class:`~repro.engine.supervisor.JobLeaseSource` whose leases
+        carry their own campaign's checkpoint and telemetry directory.
+        Returns the number of jobs settled.
+        """
+        from .supervisor import CampaignSupervisor
+
+        supervisor = CampaignSupervisor(self, self.supervisor_config)
+        self.last_supervisor = supervisor
+        return supervisor.serve(source, progress)
+
     def _count_kill(self) -> None:
         self.killed_workers += 1
         registry = default_registry()

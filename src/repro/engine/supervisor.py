@@ -54,6 +54,18 @@ resumed digest matches an uninterrupted run.
 Everything is metered (``engine.supervisor.*`` counters) and journaled
 (``job_retried`` / ``job_stalled`` / ``job_quarantined`` /
 ``pool_rebuilt`` events to the current journal).
+
+Besides the one-shot :meth:`CampaignSupervisor.run` batch mode, the
+supervisor has a **lease-driven** mode (:meth:`CampaignSupervisor.serve`)
+for the campaign service (:mod:`repro.service`): instead of a fixed job
+list it pulls :class:`JobLease` objects from a scheduler one at a time as
+fleet slots free up, so one worker fleet serves jobs interleaved from
+many campaigns, each lease carrying its own campaign's checkpoint and
+telemetry directory.  The whole recovery ladder — deadlines, watchdog
+(via a :class:`~repro.obs.shipper.ShardReaderGroup` over every in-flight
+campaign's shards), retry ledger, quarantine, pool rebuilds, graceful
+shutdown — applies unchanged per job; un-run leases are handed back to
+the scheduler on shutdown (:meth:`JobLeaseSource.released`).
 """
 
 from __future__ import annotations
@@ -71,7 +83,12 @@ from ..obs.metrics import default_registry
 from .planner import SearchJob
 from .runner import JobResult, run_job
 
-__all__ = ["SupervisorConfig", "CampaignSupervisor"]
+__all__ = [
+    "SupervisorConfig",
+    "CampaignSupervisor",
+    "JobLease",
+    "JobLeaseSource",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +149,52 @@ class SupervisorConfig:
         return self
 
 
+@dataclass(frozen=True)
+class JobLease:
+    """One job granted to the fleet, with its campaign's surroundings.
+
+    The lease is the unit of the supervisor's serve-mode protocol: the
+    scheduler decides *which* job runs next (priority, fair-share,
+    quotas); the lease pins *where its side effects go* — the owning
+    campaign's attempt ledger and telemetry directory — so jobs from
+    different campaigns interleave on one fleet without sharing state.
+    """
+
+    job: SearchJob
+    #: the owning campaign's :class:`~repro.engine.runner.CampaignCheckpoint`
+    #: (results and failed attempts are journaled there), or None
+    checkpoint: Optional[object] = None
+    #: the owning campaign's telemetry directory (heartbeat shards), or None
+    telemetry_dir: Optional[str] = None
+
+
+class JobLeaseSource:
+    """Protocol for :meth:`CampaignSupervisor.serve` schedulers.
+
+    A duck-typed base (subclassing is optional): the supervisor only
+    calls these four methods.  ``lease`` may raise
+    :class:`~repro.errors.SearchInterrupted` (e.g. the injected
+    ``service`` fault site) — the supervisor tears the fleet down and
+    lets it propagate, exactly like an operator shutdown.
+    """
+
+    def lease(self) -> Optional[JobLease]:
+        """The next job to dispatch, or None when nothing is ready."""
+        raise NotImplementedError
+
+    def outstanding(self) -> bool:
+        """Is there (or could there be) more work?  False ends serving."""
+        raise NotImplementedError
+
+    def completed(self, result: JobResult) -> None:
+        """One leased job finished (ok, failed, or quarantined)."""
+        raise NotImplementedError
+
+    def released(self, job: SearchJob) -> None:
+        """A granted lease was abandoned un-run (shutdown); re-queue it."""
+        raise NotImplementedError
+
+
 class _JobState:
     """Supervision bookkeeping for one job across its attempts."""
 
@@ -152,6 +215,8 @@ class _JobState:
         "dispatched_at",
         "last_seen",
         "limit_at",
+        "checkpoint",
+        "telemetry",
     )
 
     def __init__(
@@ -162,6 +227,8 @@ class _JobState:
         hang: bool,
         pool: bool,
         spent: int,
+        checkpoint=None,
+        telemetry: Optional[str] = None,
     ) -> None:
         self.job = job
         self.index = index
@@ -185,6 +252,10 @@ class _JobState:
         self.dispatched_at = 0.0
         self.last_seen = 0.0
         self.limit_at: Optional[float] = None
+        #: where this job's results/attempts are journaled (its campaign)
+        self.checkpoint = checkpoint
+        #: where this job's heartbeat shards land (its campaign)
+        self.telemetry = telemetry
 
 
 class CampaignSupervisor:
@@ -217,6 +288,8 @@ class CampaignSupervisor:
         self._njobs = 0
         self._progress: Optional[Callable[[JobResult], None]] = None
         self._by_key: Dict[str, _JobState] = {}
+        #: jobs settled (finished or quarantined) by a serve() session
+        self._settled = 0
 
     # -- entry point -------------------------------------------------------
 
@@ -256,6 +329,8 @@ class CampaignSupervisor:
                 spent=self.checkpoint.attempts(job.key)
                 if self.checkpoint is not None
                 else 0,
+                checkpoint=self.checkpoint,
+                telemetry=self.runner.telemetry_dir,
             )
             for index, job in enumerate(jobs)
         ]
@@ -266,6 +341,172 @@ class CampaignSupervisor:
                 self._run_serial(state)
             return [s.result for s in states if s.result is not None]
         return self._run_pooled(states)
+
+    # -- lease-driven entry point (the campaign service) -------------------
+
+    def serve(
+        self,
+        source: "JobLeaseSource",
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> int:
+        """Serve leases from ``source`` until it has nothing outstanding.
+
+        The counterpart of :meth:`run` for open-ended work: jobs are
+        pulled one :class:`JobLease` at a time as fleet slots free up
+        (which is what makes priority preemption job-granular — a
+        higher-priority campaign submitted mid-run wins the *next*
+        slot, never an occupied one), each carrying its own campaign's
+        checkpoint and telemetry directory.  Finished jobs are handed
+        to ``source.completed`` before ``progress``; a shutdown drains
+        in-flight jobs, hands un-run leases back via
+        ``source.released``, and raises :class:`SearchInterrupted`.
+        Returns the number of jobs settled this session.
+        """
+
+        def _on_result(result: JobResult) -> None:
+            source.completed(result)
+            if progress is not None:
+                progress(result)
+
+        self._progress = _on_result
+        self._settled = 0
+        # dispatch-time fault decisions are consulted per *lease* in
+        # lease order — the serve-mode analogue of run()'s per-job
+        # consultation (deterministic given a deterministic scheduler)
+        plan = (
+            FaultPlan.parse(self.runner.fault_spec)
+            if self.runner.fault_spec
+            else current_fault_plan()
+        )
+        # size the pool for the fleet, not for the first lease
+        self._njobs = self.runner.workers
+        if self.runner.workers == 1:
+            self._serve_serial(source, plan)
+        else:
+            self._serve_pooled(source, plan)
+        return self._settled
+
+    def _lease_state(self, source, plan) -> Optional[_JobState]:
+        """Pull one lease and wrap it in supervision bookkeeping."""
+        lease = source.lease()
+        if lease is None:
+            return None
+        job = lease.job
+        checkpoint = lease.checkpoint
+        state = _JobState(
+            job,
+            len(self._by_key),
+            plan.should_fire("worker-proc"),
+            plan.should_fire("hang"),
+            plan.should_fire("pool"),
+            spent=checkpoint.attempts(job.key) if checkpoint is not None else 0,
+            checkpoint=checkpoint,
+            telemetry=lease.telemetry_dir,
+        )
+        # heartbeat routing for the watchdog; the scheduler guarantees a
+        # key is leased by at most one campaign at a time, so the map is
+        # unambiguous (entries are dropped again once the job settles)
+        self._by_key[job.key] = state
+        return state
+
+    def _settle_hook(self, state: _JobState) -> None:
+        """Bookkeeping common to finish and quarantine: the job no
+        longer needs heartbeat routing, and serve sessions count it."""
+        self._by_key.pop(state.job.key, None)
+        self._settled += 1
+
+    def _serve_serial(self, source, plan) -> None:
+        while True:
+            self._check_shutdown()
+            state = self._lease_state(source, plan)
+            if state is None:
+                if not source.outstanding():
+                    return
+                time.sleep(self.config.poll_interval)
+                continue
+            try:
+                self._run_serial(state)
+            except SearchInterrupted:
+                if state.result is None:
+                    source.released(state.job)
+                raise
+
+    def _serve_pooled(self, source, plan) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from ..obs.shipper import ShardReaderGroup
+        from .runner import _ensure_importable_by_children
+
+        _ensure_importable_by_children()
+        cfg = self.config
+        queue: Deque[_JobState] = deque()  # retries only; fresh work is leased
+        inflight: Dict[object, _JobState] = {}
+        deferred: List[_JobState] = []
+        reader = ShardReaderGroup() if cfg.stall_timeout > 0 else None
+        try:
+            while True:
+                if interrupt_requested():
+                    self._shutdown_serve(source, queue, deferred, inflight)
+                # top up the fleet: internal retries first, then fresh
+                # leases, until every worker slot is claimed
+                while len(inflight) < self.runner.workers and (
+                    not interrupt_requested()
+                ):
+                    if queue:
+                        state = queue.popleft()
+                    else:
+                        state = self._lease_state(source, plan)
+                        if state is None:
+                            break
+                    if (state.inprocess or self._serial_only) and inflight:
+                        deferred.append(state)
+                        continue
+                    self._dispatch(state, queue, inflight)
+                queue.extend(deferred)
+                deferred.clear()
+                if interrupt_requested():
+                    self._shutdown_serve(source, queue, deferred, inflight)
+                if reader is not None:
+                    for state in inflight.values():
+                        reader.watch(state.telemetry)
+                if not inflight:
+                    if queue:
+                        continue
+                    if not source.outstanding():
+                        return
+                    time.sleep(cfg.poll_interval)
+                    continue
+                done, _ = wait(
+                    list(inflight),
+                    timeout=cfg.poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broke = False
+                for future in done:
+                    state = inflight.pop(future, None)
+                    if state is None:
+                        continue
+                    if self._collect(state, future, queue, inflight):
+                        pool_broke = True
+                        break
+                if inflight and not pool_broke:
+                    self._watch(inflight, queue, reader)
+        finally:
+            self._teardown_pool()
+
+    def _shutdown_serve(
+        self,
+        source,
+        queue: Deque[_JobState],
+        deferred: List[_JobState],
+        inflight: Dict[object, _JobState],
+    ) -> None:
+        """Drain, hand un-run leases back to the scheduler, raise."""
+        pending = list(queue) + list(deferred) + list(inflight.values())
+        self._drain(inflight)
+        for state in pending:
+            if state.result is None:
+                source.released(state.job)
+        self._raise_shutdown()
 
     # -- serial path (workers=1: the reference execution) ------------------
 
@@ -290,7 +531,7 @@ class CampaignSupervisor:
             state.hang = False
             if hang and state.killed:
                 hang = False  # the worker "died"; its hang is moot
-            if hang and not self._hang_reclaimable(pooled=False):
+            if hang and not self._hang_reclaimable(state, pooled=False):
                 # nothing is armed to reclaim a wedged in-process search
                 # (no deadline, no watchdog): spending the attempt without
                 # wedging the whole campaign is the only sane move
@@ -307,7 +548,7 @@ class CampaignSupervisor:
                 state.job,
                 self.runner.cache_dir,
                 self.runner.fault_spec,
-                self.runner.telemetry_dir,
+                state.telemetry,
                 hang=hang,
             )
             if result.interrupted and interrupt_requested():
@@ -412,7 +653,7 @@ class CampaignSupervisor:
         state.hang = False
         if hang and state.killed:
             hang = False
-        if hang and not self._hang_reclaimable(pooled=True):
+        if hang and not self._hang_reclaimable(state, pooled=True):
             self._fail_attempt(
                 state,
                 attempt,
@@ -445,7 +686,7 @@ class CampaignSupervisor:
                 state.job,
                 self.runner.cache_dir,
                 self.runner.fault_spec,
-                self.runner.telemetry_dir,
+                state.telemetry,
                 hang=hang,
             )
             if result.interrupted and interrupt_requested():
@@ -459,7 +700,7 @@ class CampaignSupervisor:
             state.job,
             self.runner.cache_dir,
             self.runner.fault_spec,
-            self.runner.telemetry_dir,
+            state.telemetry,
             hang,
         )
         now = time.monotonic()
@@ -666,8 +907,8 @@ class CampaignSupervisor:
         state.last_error = error
         if partial is not None:
             state.last_partial = partial
-        if self.checkpoint is not None:
-            self.checkpoint.record_attempt(
+        if state.checkpoint is not None:
+            state.checkpoint.record_attempt(
                 state.job.key, attempt, outcome, error=error, partial=partial
             )
         if attempt < self.config.max_attempts:
@@ -687,6 +928,7 @@ class CampaignSupervisor:
         if state.killed:
             result.killed_worker = True
         state.result = result
+        self._settle_hook(state)
         if self._progress is not None:
             self._progress(result)
 
@@ -694,9 +936,9 @@ class CampaignSupervisor:
         """Exhausted attempts: record the poison job and move on."""
         outcome, error = state.last_outcome, state.last_error
         partial = state.last_partial
-        if partial is None and self.checkpoint is not None:
+        if partial is None and state.checkpoint is not None:
             # resume path: rebuild the salvage from the attempt ledger
-            ledger = self.checkpoint.last_attempt(state.job.key)
+            ledger = state.checkpoint.last_attempt(state.job.key)
             if ledger:
                 outcome = outcome or str(ledger.get("outcome", ""))
                 error = error or str(ledger.get("error", ""))
@@ -723,6 +965,7 @@ class CampaignSupervisor:
             + ")"
         )
         state.result = result
+        self._settle_hook(state)
         self.quarantined_jobs.append(state.job.key)
         self._count("engine.supervisor.quarantined")
         self._emit(
@@ -779,14 +1022,12 @@ class CampaignSupervisor:
 
     # -- small helpers -----------------------------------------------------
 
-    def _hang_reclaimable(self, pooled: bool) -> bool:
+    def _hang_reclaimable(self, state: _JobState, pooled: bool) -> bool:
         """Can *anything* reclaim a wedged search for this dispatch?"""
         cfg = self.config
         if cfg.job_deadline > 0:
             return True  # the kernel reclaims itself at the deadline
-        return bool(
-            pooled and cfg.stall_timeout > 0 and self.runner.telemetry_dir
-        )
+        return bool(pooled and cfg.stall_timeout > 0 and state.telemetry)
 
     def _count_legacy_kill(self, state: _JobState) -> None:
         """The dispatch-time ``worker-proc`` kill, counted once per job."""

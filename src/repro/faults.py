@@ -37,6 +37,12 @@ hang       a simulated *wedged* worker: the search kernel stops making
 pool       the worker pool breaks (``BrokenProcessPool`` stand-in) while
            the job runs — exercises the supervisor's rebuild-once path.
            Dispatch-time like ``hang``
+service    :class:`~repro.errors.SearchInterrupted` inside the campaign
+           service's scheduler, right after a job lease is granted but
+           before it is dispatched — stands in for killing ``repro
+           serve`` mid-lease; exercises restart recovery (the leased job
+           has no result yet, so a restarted server re-leases it and the
+           recovered campaign digest matches an uninterrupted run)
 ========== ===============================================================
 
 A plan is a set of per-site rules, parsed from a compact spec string::
@@ -99,6 +105,7 @@ SITES = (
     "kill",
     "hang",
     "pool",
+    "service",
 )
 
 
@@ -161,7 +168,7 @@ def _fault_error(site: str) -> Exception:
         return RuntimeError(marker)
     if site in ("journal", "checkpoint"):
         return OSError(marker)
-    if site == "kill":
+    if site in ("kill", "service"):
         return SearchInterrupted(marker)
     raise FaultPlanError(f"unknown fault site {site!r}")
 

@@ -54,6 +54,7 @@ __all__ = [
     "iter_shard_events",
     "merge_shards",
     "ShardReader",
+    "ShardReaderGroup",
     "JobTelemetry",
     "CampaignStats",
 ]
@@ -238,6 +239,36 @@ class ShardReader:
                 job = self._jobs.get(path, os.path.splitext(name)[0])
                 batch.append((job, event))
         batch.sort(key=lambda pair: (pair[0], int(pair[1].get("seq", 0))))  # type: ignore[call-overload]
+        return batch
+
+
+class ShardReaderGroup:
+    """One incremental tail over *many* telemetry directories.
+
+    The campaign service ships every campaign's shards into its own
+    directory (the campaign dir doubles as the telemetry dir), but the
+    shared fleet has exactly one heartbeat watchdog — this group is the
+    demux between the two: :meth:`watch` lazily registers a directory,
+    :meth:`poll` folds every registered reader's new events into one
+    batch, deterministically ordered by ``(directory, job key, seq)``.
+    Re-watching a directory is a no-op, so callers can re-assert the
+    in-flight set every tick without resetting offsets.
+    """
+
+    def __init__(self) -> None:
+        self._readers: Dict[str, ShardReader] = {}
+
+    def watch(self, telemetry_dir: Optional[str]) -> None:
+        if not telemetry_dir:
+            return
+        key = os.path.abspath(telemetry_dir)
+        if key not in self._readers:
+            self._readers[key] = ShardReader(telemetry_dir)
+
+    def poll(self) -> List[Tuple[str, Dict[str, object]]]:
+        batch: List[Tuple[str, Dict[str, object]]] = []
+        for directory in sorted(self._readers):
+            batch.extend(self._readers[directory].poll())
         return batch
 
 

@@ -1,0 +1,40 @@
+"""The campaign service: a persistent multi-campaign scheduler.
+
+``repro serve`` turns the batch engine into a long-running front door:
+clients drop campaign submissions (a
+:class:`~repro.engine.planner.CampaignSpec` plus a priority and a
+tenant) into a durable filesystem queue under a ``--state-dir``; the
+service leases jobs from *every* queued campaign onto one shared
+:class:`~repro.engine.supervisor.CampaignSupervisor`-driven worker
+fleet; results are retrieved by content-addressed ticket after the
+fact, surviving server restarts.
+
+The pieces:
+
+- :mod:`repro.service.state` — the durable state machine: submission
+  records, cancel markers, per-campaign directories, result payloads;
+- :mod:`repro.service.scheduler` — the lease source: fair-share across
+  tenants, per-tenant quotas, priority preemption at job granularity;
+- :mod:`repro.service.server` — :class:`CampaignService`, the ``repro
+  serve`` loop;
+- :mod:`repro.service.client` — :class:`ServiceClient`, the library
+  surface ``repro submit`` / ``status`` / ``results`` / ``cancel``
+  (and :class:`repro.api.Client` in service mode) are built on.
+
+See docs/SERVICE.md for the state-dir layout, the lease protocol, and
+quota semantics.
+"""
+
+from .client import ServiceClient
+from .scheduler import ServiceScheduler
+from .server import CampaignService
+from .state import SubmissionRecord, ServiceState, is_service_dir
+
+__all__ = [
+    "CampaignService",
+    "ServiceClient",
+    "ServiceScheduler",
+    "ServiceState",
+    "SubmissionRecord",
+    "is_service_dir",
+]

@@ -241,6 +241,9 @@ class TestSurfaceContracts:
             "generate_tests",
             "run_campaign",
             "replay",
+            "Client",
+            "CampaignHandle",
+            "ServiceClient",
             "BatchPlanner",
             "CampaignReport",
             "CampaignSpec",
