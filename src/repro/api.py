@@ -413,6 +413,9 @@ class Client:
         job_deadline: Optional[float] = None,
         max_attempts: Optional[int] = None,
         stall_timeout: Optional[float] = None,
+        store_dir: Optional[str] = None,
+        store_max_bytes: Optional[int] = None,
+        seed_from_store: bool = False,
     ) -> None:
         self.workers = workers
         self.cache_dir = cache_dir
@@ -421,6 +424,16 @@ class Client:
         self.job_deadline = job_deadline
         self.max_attempts = max_attempts
         self.stall_timeout = stall_timeout
+        #: shared content-addressed store: corpora and crash buckets are
+        #: persisted there, and it doubles as the solver disk cache when
+        #: ``cache_dir`` is unset
+        self.store_dir = store_dir
+        #: when set, the store is gc'd to this budget after each local
+        #: campaign finishes
+        self.store_max_bytes = store_max_bytes
+        #: seed searches from the store's prior corpora (deterministic
+        #: given the store state; OFF preserves classic digests exactly)
+        self.seed_from_store = seed_from_store
         self._service = (
             ServiceClient(state_dir) if state_dir is not None else None
         )
@@ -604,6 +617,8 @@ class Client:
                 if policy_kwargs
                 else None
             ),
+            store_dir=self.store_dir,
+            seed_from_store=self.seed_from_store,
         )
         start = time.perf_counter()
 
@@ -656,6 +671,12 @@ class Client:
             except OSError:
                 # shipping is best-effort; the campaign already succeeded
                 report.telemetry_dir = self.telemetry
+        if self.store_dir and self.store_max_bytes is not None:
+            from .store import ContentStore
+
+            # answer-neutral by the store's contract: anything evicted
+            # is recomputed to byte-identical content on the next run
+            ContentStore(self.store_dir).gc(self.store_max_bytes)
         return report
 
 

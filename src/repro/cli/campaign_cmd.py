@@ -33,6 +33,9 @@ def cmd_campaign(args) -> int:
             job_deadline=args.job_deadline,
             max_attempts=args.max_attempts,
             stall_timeout=args.stall_timeout,
+            store_dir=args.store_dir,
+            store_max_bytes=args.store_max_bytes,
+            seed_from_store=args.seed_from_store,
         )
         handle = client.submit(
             args.spec,
@@ -58,6 +61,16 @@ def cmd_campaign(args) -> int:
         disk = report.disk_cache_stats()
         if disk.get("hit_rate") is not None:
             print(f"  disk-cache hit rate: {disk['hit_rate']:.1%}")
+    if args.store_dir:
+        from ..store import ContentStore
+
+        stats = ContentStore(args.store_dir).stats()
+        spaces = ", ".join(
+            f"{ns}: {info['entries']} entries/{info['bytes']}B"
+            for ns, info in sorted(stats["namespaces"].items())
+            if info["entries"]
+        )
+        print(f"  store: {stats['total_bytes']}B ({spaces or 'empty'})")
     if report.telemetry_dir:
         print(
             f"  telemetry: {report.journal_events} events merged into "
@@ -142,6 +155,7 @@ def register(sub) -> None:
         ),
     )
     common.add_cache_dir_flag(campaign)
+    common.add_store_flags(campaign)
     campaign.add_argument(
         "--checkpoint",
         default=None,

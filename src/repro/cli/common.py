@@ -40,8 +40,11 @@ __all__ = [
     "print_resilience",
     "add_cache_dir_flag",
     "add_fault_plan_flag",
+    "add_store_flags",
     "add_supervision_flags",
     "add_telemetry_flag",
+    "open_store",
+    "persist_to_store",
 ]
 
 
@@ -62,6 +65,49 @@ def add_cache_dir_flag(parser) -> None:
         help=(
             "persistent on-disk solver query cache shared by all workers "
             "and future runs"
+        ),
+    )
+
+
+def add_store_flags(parser, seeding: bool = True) -> None:
+    """The shared content-addressed store group (see docs/STORAGE.md).
+
+    ``--store-dir`` persists corpora and crash buckets (and hosts the
+    solver cache when ``--cache-dir`` is not given); ``--store-max-bytes``
+    gc's it back under budget after the run; ``--seed-from-store`` seeds
+    new searches from prior corpora (campaign-style commands only).
+    """
+    group = parser.add_argument_group("content store")
+    group.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared content-addressed store: persists generated corpora "
+            "and crash buckets, and doubles as the solver cache when "
+            "--cache-dir is not given"
+        ),
+    )
+    group.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "evict least-recently-used store entries down to this budget "
+            "after the run (answer-neutral: evicted entries recompute to "
+            "byte-identical content)"
+        ),
+    )
+    if not seeding:
+        return
+    group.add_argument(
+        "--seed-from-store",
+        action="store_true",
+        help=(
+            "seed each search from the store's prior corpora for the same "
+            "program source and entry point (deterministic given the store "
+            "state; off by default, which reproduces classic digests)"
         ),
     )
 
@@ -142,6 +188,102 @@ def add_telemetry_flag(parser) -> None:
             "DIR/campaign.jsonl (answer-preserving; tail with 'repro top')"
         ),
     )
+
+
+def open_store(args, program_path: str, entry: str):
+    """Resolve the ``--store-dir`` flags for a single-program command.
+
+    Returns ``(store, source_sha, seed_corpus)``: the opened
+    :class:`~repro.store.ContentStore` (or None without ``--store-dir``),
+    the program's source digest, and the stored seed vectors for this
+    program+entry when ``--seed-from-store`` was given (else ``()``).
+    """
+    store_dir = getattr(args, "store_dir", None)
+    if not store_dir:
+        return None, "", ()
+    from ..store import (
+        CORPUS_ENTRY_FORMAT,
+        ContentStore,
+        corpus_group,
+        source_sha,
+    )
+
+    with open(program_path, "r", encoding="utf-8") as handle:
+        src_sha = source_sha(handle.read())
+    store = ContentStore(store_dir)
+    seeds = ()
+    if getattr(args, "seed_from_store", False):
+        stored = store.load_group(
+            "corpus",
+            corpus_group(src_sha, entry),
+            expected_format=CORPUS_ENTRY_FORMAT,
+        )
+        seeds = tuple(
+            {str(k): int(v) for k, v in dict(payload["inputs"]).items()}
+            for _digest, payload in stored
+            if isinstance(payload.get("inputs"), dict)
+        )
+    return store, src_sha, seeds
+
+
+def persist_to_store(store, src_sha: str, entry: str, result) -> None:
+    """Record a finished search's corpus and crash buckets in the store.
+
+    The CLI twin of the engine's per-job persistence: same namespaces,
+    same grouping, same keys — a ``repro run`` and a campaign job over
+    the same program land on the same entries.
+    """
+    import os as _os
+
+    from ..search.corpus import TestCorpus
+    from ..store import (
+        CORPUS_ENTRY_FORMAT,
+        CRASH_RECORD_FORMAT,
+        corpus_group,
+        crash_group,
+        input_digest,
+        source_sha,
+    )
+
+    corpus = TestCorpus()
+    corpus.add_from_search(result)
+    group = corpus_group(src_sha, entry)
+    for test in corpus:
+        inputs = test.input_dict()
+        path = store.group_path("corpus", group, input_digest(inputs))
+        if _os.path.exists(path):
+            continue
+        store.save(
+            "corpus",
+            path,
+            {
+                "format": CORPUS_ENTRY_FORMAT,
+                "source_sha": src_sha,
+                "entry": entry,
+                "inputs": {str(k): int(v) for k, v in inputs.items()},
+                "returned": test.returned,
+                "error": test.error,
+                "error_message": test.error_message,
+            },
+        )
+    group = crash_group(src_sha)
+    for crash in result.crashes:
+        bucket = str(crash.bucket)
+        path = store.group_path("crashes", group, source_sha(bucket))
+        if _os.path.exists(path):
+            continue
+        store.save(
+            "crashes",
+            path,
+            {
+                "format": CRASH_RECORD_FORMAT,
+                "source_sha": src_sha,
+                "entry": entry,
+                "bucket": bucket,
+                "message": str(crash.message),
+                "count": int(crash.count),
+            },
+        )
 
 
 def parse_seed(text: str) -> Dict[str, int]:
@@ -256,12 +398,18 @@ def fault_plan(args):
 
 
 def query_cache(args, enabled: bool = True):
-    """The query cache the flags ask for (disk-backed with --cache-dir)."""
+    """The query cache the flags ask for (disk-backed with --cache-dir).
+
+    ``--store-dir`` doubles as the cache directory when ``--cache-dir``
+    is not given: the store's ``solver/`` namespace *is* the disk cache.
+    """
     from ..solver.cache import QueryCache
 
     if not enabled:
         return None
-    cache_dir = getattr(args, "cache_dir", None)
+    cache_dir = getattr(args, "cache_dir", None) or getattr(
+        args, "store_dir", None
+    )
     if cache_dir:
         from ..solver.diskcache import DiskCache
 

@@ -22,6 +22,7 @@ from . import (
     run_cmd,
     serve_cmd,
     stats_cmd,
+    store_cmd,
 )
 
 __all__ = ["build_parser", "main"]
@@ -33,6 +34,7 @@ _COMMANDS = (
     bench_cmd,
     campaign_cmd,
     serve_cmd,
+    store_cmd,
     fuzz_cmd,
     modes_cmd,
     replay_cmd,

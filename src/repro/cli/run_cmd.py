@@ -26,7 +26,14 @@ def cmd_run(args) -> int:
     if args.resume and not checkpoint_dir:
         # resuming continues checkpointing into the same directory
         checkpoint_dir = args.resume
-    cache = common.query_cache(args) if getattr(args, "cache_dir", None) else None
+    cache = (
+        common.query_cache(args)
+        if (args.cache_dir or args.store_dir)
+        else None
+    )
+    content_store, src_sha, seed_corpus = common.open_store(
+        args, args.program, entry
+    )
     store = [None]
 
     def _capture_store(search: DirectedSearch) -> None:
@@ -53,10 +60,15 @@ def cmd_run(args) -> int:
                     resume_from=args.resume,
                     exec_backend=args.exec_backend,
                     job_deadline=args.job_deadline,
+                    seed_corpus=seed_corpus,
                     **common.scheduler_option(args),
                 ),
                 _search_hook=_capture_store,
             )
+    if content_store is not None:
+        common.persist_to_store(content_store, src_sha, entry, result)
+        if args.store_max_bytes is not None:
+            content_store.gc(args.store_max_bytes)
     print(f"[{args.mode}] {result.summary()}")
     for error in result.errors:
         print(f"  {error}")
@@ -150,6 +162,7 @@ def register(sub) -> None:
     )
     common.add_fault_plan_flag(run)
     common.add_cache_dir_flag(run)
+    common.add_store_flags(run)
     run.add_argument(
         "--checkpoint",
         default=None,

@@ -73,6 +73,9 @@ def cmd_serve(args) -> int:
         idle_exit=args.idle_exit,
         progress=_progress,
         log=None if args.quiet else print,
+        store_dir=args.store_dir,
+        store_max_bytes=args.store_max_bytes,
+        seed_from_store=args.seed_from_store,
     )
     print(
         f"[serve] state dir {service.state.state_dir} "
@@ -239,6 +242,7 @@ def register(sub) -> None:
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     common.add_cache_dir_flag(serve)
+    common.add_store_flags(serve)
     common.add_supervision_flags(serve)
     common.add_fault_plan_flag(
         serve,

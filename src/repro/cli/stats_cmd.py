@@ -115,7 +115,37 @@ def render_campaign_view(stats: CampaignStats, directory: str) -> str:
                 for k, v in sorted(sched.items())
             )
             lines.append(f"  scheduler counters: {parts}")
+        store_line = _render_store_counters(stats.counters)
+        if store_line:
+            lines.append(store_line)
     return "\n".join(lines)
+
+
+def _render_store_counters(counters) -> str:
+    """One ``store:`` line folding ``store.<ns>.<what>`` counters per
+    namespace (with a hit rate when the namespace saw lookups)."""
+    per_ns: dict = {}
+    for name, value in counters.items():
+        if not name.startswith("store.") or not value:
+            continue
+        parts = name.split(".")
+        if len(parts) != 3:
+            continue
+        per_ns.setdefault(parts[1], {})[parts[2]] = int(value)
+    if not per_ns:
+        return ""
+    chunks = []
+    for ns in sorted(per_ns):
+        what = per_ns[ns]
+        piece = (
+            f"{ns} {what.get('hits', 0)}h/{what.get('misses', 0)}m/"
+            f"{what.get('stores', 0)}s/{what.get('evictions', 0)}e"
+        )
+        lookups = what.get("hits", 0) + what.get("misses", 0)
+        if lookups:
+            piece += f" ({what.get('hits', 0) / lookups:.0%} hit)"
+        chunks.append(piece)
+    return "  store: " + "; ".join(chunks)
 
 
 def render_service_view(directory: str) -> str:

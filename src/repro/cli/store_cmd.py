@@ -1,0 +1,134 @@
+"""``repro store`` — inspect and maintain a shared content-addressed store.
+
+Four verbs over one ``--store-dir``, all safe to run while campaigns
+are writing (the store's atomic-publish discipline means maintenance
+never sees torn entries):
+
+- ``stats``   — per-namespace entries/bytes, lifetime hit/miss/store/evict
+  counts, hit rates, and per-tenant access accounting;
+- ``gc``      — evict least-recently-used entries down to ``--max-bytes``
+  (answer-neutral: evicted content recomputes byte-identically);
+- ``verify``  — parse every entry, quarantining any that are corrupt;
+- ``export``  — copy one namespace's entries into a plain directory
+  (e.g. to ship a corpus to another machine's store).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["register", "cmd_store"]
+
+
+def _print_stats(stats) -> None:
+    print(f"[store] {stats['root']}")
+    print(f"  total: {stats['total_bytes']} bytes")
+    for ns in sorted(stats["namespaces"]):
+        info = stats["namespaces"][ns]
+        line = f"  {ns}: {info['entries']} entries, {info['bytes']} bytes"
+        hits = stats["hits"].get(ns, 0)
+        misses = stats["misses"].get(ns, 0)
+        stores = stats["stores"].get(ns, 0)
+        evictions = stats["evictions"].get(ns, 0)
+        if hits or misses or stores or evictions:
+            line += (
+                f"; {hits} hits / {misses} misses / "
+                f"{stores} stores / {evictions} evictions"
+            )
+            rate = stats["hit_rates"].get(ns)
+            if rate is not None:
+                line += f" (hit rate {rate:.1%})"
+        print(line)
+    tenants = stats.get("tenants") or {}
+    for tenant in sorted(tenants):
+        print(f"  tenant {tenant}: {tenants[tenant]} accesses")
+
+
+def cmd_store(args) -> int:
+    """Dispatch one ``repro store`` verb against ``--store-dir``."""
+    import json as jsonlib
+
+    from ..store import ContentStore
+
+    store = ContentStore(args.store_dir)
+    if args.verb == "stats":
+        stats = store.stats()
+        if args.json:
+            print(jsonlib.dumps(stats, indent=2, sort_keys=True))
+        else:
+            _print_stats(stats)
+        return 0
+    if args.verb == "gc":
+        if args.max_bytes is None:
+            raise ReproError("store gc needs --max-bytes")
+        evicted = store.gc(args.max_bytes)
+        total = sum(evicted.values())
+        detail = ", ".join(
+            f"{ns}: {n}" for ns, n in sorted(evicted.items()) if n
+        )
+        print(
+            f"[store] evicted {total} entries"
+            + (f" ({detail})" if detail else "")
+            + f"; now {store.stats()['total_bytes']} bytes"
+        )
+        return 0
+    if args.verb == "verify":
+        outcome = store.verify()
+        print(
+            f"[store] verified {outcome['checked']} entries, "
+            f"quarantined {outcome['quarantined']}"
+        )
+        return 1 if outcome["quarantined"] else 0
+    if args.verb == "export":
+        if not args.namespace or not args.dest:
+            raise ReproError("store export needs --namespace and --dest")
+        count = store.export(args.namespace, args.dest)
+        print(f"[store] exported {count} {args.namespace} entries to {args.dest}")
+        return 0
+    raise ReproError(f"unknown store verb {args.verb!r}")
+
+
+def register(sub) -> None:
+    store = sub.add_parser(
+        "store",
+        help=(
+            "inspect and maintain a shared content-addressed store "
+            "(solver cache + corpora + crash buckets)"
+        ),
+    )
+    store.add_argument(
+        "verb",
+        choices=["stats", "gc", "verify", "export"],
+        help="stats | gc | verify | export",
+    )
+    store.add_argument(
+        "--store-dir",
+        required=True,
+        metavar="DIR",
+        help="the store's root directory",
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="gc: evict least-recently-used entries down to this budget",
+    )
+    store.add_argument(
+        "--namespace",
+        default=None,
+        choices=["solver", "corpus", "crashes"],
+        help="export: which namespace to copy out",
+    )
+    store.add_argument(
+        "--dest",
+        default=None,
+        metavar="DIR",
+        help="export: destination directory",
+    )
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="stats: print the full stats payload as JSON",
+    )
+    store.set_defaults(fn=cmd_store)

@@ -251,8 +251,9 @@ class ResultMerger:
     )
 
     #: counter prefixes folded wholesale (per-scheduler queue/selection
-    #: counters: names depend on which schedulers the campaign ran)
-    AGGREGATED_PREFIXES = ("search.scheduler.",)
+    #: counters and per-namespace content-store counters: names depend on
+    #: which schedulers/namespaces the campaign touched)
+    AGGREGATED_PREFIXES = ("search.scheduler.", "store.")
 
     def merge(
         self,
@@ -289,6 +290,14 @@ class ResultMerger:
             )
             for crash in job.crashes:
                 bucket = str(crash.get("bucket", "?"))
+                # campaign-level buckets are qualified by the program's
+                # source identity: two programs raising the same
+                # ``ExceptionClass@line`` must not collapse into one
+                # bucket.  Per-job buckets (which feed suite digests)
+                # stay unqualified.  Display-side only — the campaign
+                # digest never folds campaign-level buckets.
+                if job.source_sha:
+                    bucket = f"{job.source_sha[:12]}:{bucket}"
                 report.crash_buckets[bucket] = report.crash_buckets.get(
                     bucket, 0
                 ) + int(crash.get("count", 1))  # type: ignore[call-overload]

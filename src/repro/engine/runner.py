@@ -80,7 +80,9 @@ __all__ = [
 ]
 
 #: JobResult payload schema version (checkpointed campaigns self-invalidate)
-JOB_RESULT_FORMAT = 3
+#: v4: added ``source_sha`` (program-source identity for store grouping
+#: and collision-free campaign-level crash buckets)
+JOB_RESULT_FORMAT = 4
 
 #: traceback frames kept in :attr:`JobResult.error_trace` for diagnosis
 ERROR_TRACE_FRAMES = 5
@@ -131,6 +133,10 @@ class JobResult:
     #: least once (heartbeat silence) before the job finished
     stalled: bool = False
     worker_pid: int = 0
+    #: SHA-256 of the job's program source (the store's grouping identity;
+    #: also what keeps campaign-level crash buckets collision-free across
+    #: programs sharing an ``ExceptionClass@line``)
+    source_sha: str = ""
     runs: int = 0
     paths: int = 0
     errors: List[str] = field(default_factory=list)
@@ -172,6 +178,7 @@ class JobResult:
             "quarantined": self.quarantined,
             "stalled": self.stalled,
             "worker_pid": self.worker_pid,
+            "source_sha": self.source_sha,
             "runs": self.runs,
             "paths": self.paths,
             "errors": list(self.errors),
@@ -211,6 +218,7 @@ class JobResult:
             quarantined=bool(payload.get("quarantined", False)),
             stalled=bool(payload.get("stalled", False)),
             worker_pid=int(payload.get("worker_pid", 0)),
+            source_sha=str(payload.get("source_sha", "")),
             runs=int(payload.get("runs", 0)),
             paths=int(payload.get("paths", 0)),
             errors=[str(e) for e in payload.get("errors", [])],
@@ -323,6 +331,9 @@ def run_job(
     fault_spec: str = "",
     telemetry_dir: Optional[str] = None,
     hang: bool = False,
+    store_dir: Optional[str] = None,
+    seed_from_store: bool = False,
+    store_tenant: str = "",
 ) -> JobResult:
     """Execute one job to completion in the current process.
 
@@ -338,28 +349,66 @@ def run_job(
     Telemetry is strictly read-side: the generated suite and its digest
     are byte-identical with telemetry on or off.
 
+    ``store_dir`` points at a shared content-addressed store
+    (:class:`~repro.store.ContentStore`): the job's generated corpus and
+    crash buckets are persisted into it (and, when no explicit
+    ``cache_dir`` is given, its ``solver/`` namespace doubles as the
+    disk query cache).  ``seed_from_store=True`` additionally seeds the
+    search with every stored corpus entry recorded for this program
+    source and entry point — deterministic given the store state, off
+    by default so legacy digests stay byte-identical.  ``store_tenant``
+    tags the store's access journal for per-tenant accounting.
+
     ``hang=True`` arms the injected ``hang`` fault for this job: the
     search wedges at its next run boundary until its deadline (or an
     external stop) reclaims it.  The supervisor passes it only on a
     job's first attempt, which is what keeps retries answer-preserving.
     """
     from ..search.directed import DirectedSearch, SearchConfig
+    from ..store import (
+        CORPUS_ENTRY_FORMAT,
+        ContentStore,
+        corpus_group,
+        source_sha,
+    )
 
     out = JobResult(
         key=job.key,
         scheduler=str(job.config.get("scheduler", "dfs")),
         worker_pid=os.getpid(),
+        source_sha=source_sha(job.source),
     )
     plan = FaultPlan.parse(fault_spec) if fault_spec else NULL_PLAN
     registry = MetricsRegistry()
-    cache = _job_cache(cache_dir)
+    cache = _job_cache(cache_dir if cache_dir else store_dir)
+    store = (
+        ContentStore(store_dir, tenant=store_tenant) if store_dir else None
+    )
     shard = None
     start = time.perf_counter()
     try:
         program = parse_program(job.source)
         natives = build_natives(job.natives)
         mode = ConcretizationMode(job.strategy)
-        config = SearchConfig.from_options(**job.config)
+        options = dict(job.config)
+        if seed_from_store and store is not None and "seed_corpus" not in options:
+            # seed with the prior corpora recorded for this exact program
+            # source + entry point; sorted-by-digest order makes the
+            # seeded search a pure function of the store state
+            with use_registry(registry):
+                stored = store.load_group(
+                    "corpus",
+                    corpus_group(out.source_sha, job.entry),
+                    expected_format=CORPUS_ENTRY_FORMAT,
+                )
+            seeds = [
+                {str(k): int(v) for k, v in dict(entry["inputs"]).items()}
+                for _digest, entry in stored
+                if isinstance(entry.get("inputs"), dict)
+            ]
+            if seeds:
+                options["seed_corpus"] = seeds
+        config = SearchConfig.from_options(**options)
         with use_fault_plan(plan), use_registry(registry), use_cache(cache), \
                 use_hang_request(hang):
             obs: Optional[Observability] = None
@@ -428,6 +477,9 @@ def run_job(
         }
         for entry in corpus
     ]
+    if store is not None:
+        with use_registry(registry):
+            _persist_job_outputs(store, job, out)
     disk = cache.disk
     out.cache = {
         "hits": cache.hits,
@@ -443,6 +495,68 @@ def run_job(
     _seal_shard(shard, out)
     out.metrics = registry.snapshot()
     return out
+
+
+def _persist_job_outputs(store, job: SearchJob, out: JobResult) -> None:
+    """Record the job's corpus entries and crash buckets in the store.
+
+    Write-side only (never observable in the job's suite or digest):
+    corpus entries land under ``corpus/<group>/`` keyed by the digest of
+    their input vector, crash buckets under ``crashes/<group>/`` keyed
+    by the digest of the bucket string — both grouped by the program's
+    source SHA-256 (plus entry point, for corpora) so a later campaign
+    over the same program can enumerate them.  Entries already present
+    are left untouched: re-running a campaign against a warm store is
+    write-free.
+    """
+    from ..store import (
+        CORPUS_ENTRY_FORMAT,
+        CRASH_RECORD_FORMAT,
+        corpus_group,
+        crash_group,
+        input_digest,
+        source_sha,
+    )
+
+    group = corpus_group(out.source_sha, job.entry)
+    for entry in out.corpus:
+        inputs = entry.get("inputs")
+        if not isinstance(inputs, dict):
+            continue
+        path = store.group_path("corpus", group, input_digest(inputs))
+        if os.path.exists(path):
+            continue
+        store.save(
+            "corpus",
+            path,
+            {
+                "format": CORPUS_ENTRY_FORMAT,
+                "source_sha": out.source_sha,
+                "entry": job.entry,
+                "inputs": {str(k): int(v) for k, v in inputs.items()},
+                "returned": entry.get("returned"),
+                "error": entry.get("error"),
+                "error_message": entry.get("error_message"),
+            },
+        )
+    group = crash_group(out.source_sha)
+    for crash in out.crashes:
+        bucket = str(crash.get("bucket", "?"))
+        path = store.group_path("crashes", group, source_sha(bucket))
+        if os.path.exists(path):
+            continue
+        store.save(
+            "crashes",
+            path,
+            {
+                "format": CRASH_RECORD_FORMAT,
+                "source_sha": out.source_sha,
+                "entry": job.entry,
+                "bucket": bucket,
+                "message": str(crash.get("message", "")),
+                "count": int(crash.get("count", 0) or 0),
+            },
+        )
 
 
 def _ensure_importable_by_children() -> None:
@@ -489,6 +603,8 @@ class ProcessPoolRunner:
         fault_spec: str = "",
         telemetry_dir: Optional[str] = None,
         supervisor: Optional["SupervisorConfig"] = None,
+        store_dir: Optional[str] = None,
+        seed_from_store: bool = False,
     ) -> None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1 (got {workers})")
@@ -497,6 +613,12 @@ class ProcessPoolRunner:
         self.fault_spec = fault_spec
         #: when set, every job ships its journal shard under this directory
         self.telemetry_dir = telemetry_dir
+        #: shared content-addressed store (corpora + crash buckets; doubles
+        #: as the solver disk cache when no explicit ``cache_dir`` is given)
+        self.store_dir = os.path.abspath(store_dir) if store_dir else None
+        #: seed each job's search from the store's prior corpora (OFF by
+        #: default: classic campaigns stay byte-identical)
+        self.seed_from_store = seed_from_store
         #: supervision policy (None = defaults: 2 attempts, no deadline)
         self.supervisor_config = supervisor
         #: worker-process kills contained so far (fault-injected or real)

@@ -166,6 +166,9 @@ class JobLease:
     checkpoint: Optional[object] = None
     #: the owning campaign's telemetry directory (heartbeat shards), or None
     telemetry_dir: Optional[str] = None
+    #: the owning campaign's tenant — tags content-store journal lines so
+    #: one shared store accounts per tenant
+    tenant: str = ""
 
 
 class JobLeaseSource:
@@ -217,6 +220,7 @@ class _JobState:
         "limit_at",
         "checkpoint",
         "telemetry",
+        "tenant",
     )
 
     def __init__(
@@ -229,6 +233,7 @@ class _JobState:
         spent: int,
         checkpoint=None,
         telemetry: Optional[str] = None,
+        tenant: str = "",
     ) -> None:
         self.job = job
         self.index = index
@@ -256,6 +261,8 @@ class _JobState:
         self.checkpoint = checkpoint
         #: where this job's heartbeat shards land (its campaign)
         self.telemetry = telemetry
+        #: per-tenant accounting tag for the shared content store
+        self.tenant = tenant
 
 
 class CampaignSupervisor:
@@ -402,6 +409,7 @@ class CampaignSupervisor:
             spent=checkpoint.attempts(job.key) if checkpoint is not None else 0,
             checkpoint=checkpoint,
             telemetry=lease.telemetry_dir,
+            tenant=lease.tenant,
         )
         # heartbeat routing for the watchdog; the scheduler guarantees a
         # key is leased by at most one campaign at a time, so the map is
@@ -550,6 +558,9 @@ class CampaignSupervisor:
                 self.runner.fault_spec,
                 state.telemetry,
                 hang=hang,
+                store_dir=self.runner.store_dir,
+                seed_from_store=self.runner.seed_from_store,
+                store_tenant=state.tenant,
             )
             if result.interrupted and interrupt_requested():
                 # the salvaged partial is a shutdown artifact, not a
@@ -688,6 +699,9 @@ class CampaignSupervisor:
                 self.runner.fault_spec,
                 state.telemetry,
                 hang=hang,
+                store_dir=self.runner.store_dir,
+                seed_from_store=self.runner.seed_from_store,
+                store_tenant=state.tenant,
             )
             if result.interrupted and interrupt_requested():
                 # shutdown artifact: the dispatch loop stops on the
@@ -702,6 +716,9 @@ class CampaignSupervisor:
             self.runner.fault_spec,
             state.telemetry,
             hang,
+            self.runner.store_dir,
+            self.runner.seed_from_store,
+            state.tenant,
         )
         now = time.monotonic()
         state.dispatched_at = now

@@ -460,7 +460,9 @@ class CampaignStats:
                     job.sat_queries = int(counters.get("smt.sat", 0))  # type: ignore[call-overload]
                 for name, value in counters.items():
                     name = str(name)
-                    if name.startswith(("search.scheduler.", "engine.", "kernel.")):
+                    if name.startswith(
+                        ("search.scheduler.", "engine.", "kernel.", "store.")
+                    ):
                         self.counters[name] = self.counters.get(name, 0) + int(
                             value  # type: ignore[call-overload]
                         )

@@ -110,6 +110,13 @@ class SearchConfig:
     #: as the differential reference.  Suites and digests are byte-
     #: identical between the two (CI-gated).
     exec_backend: str = "bytecode"
+    #: extra seed input vectors executed right after the primary seed,
+    #: before any flipping (cross-campaign corpus seeding: the engine
+    #: fills this from the shared store's ``corpus/`` namespace when
+    #: ``--seed-from-store`` is on).  Order matters and is preserved;
+    #: duplicates of already-executed vectors are skipped.  Empty (the
+    #: default) reproduces the classic single-seed search exactly.
+    seed_corpus: Tuple[Dict[str, int], ...] = ()
 
     #: legacy keyword spellings accepted (once, with a warning) by
     #: :meth:`from_options` — kept so pre-facade call sites don't break
@@ -210,6 +217,16 @@ class SearchConfig:
             raise ReproError(
                 f"unknown exec_backend {self.exec_backend!r} "
                 "(allowed: tree, bytecode)"
+            )
+        try:
+            self.seed_corpus = tuple(
+                {str(k): int(v) for k, v in dict(vector).items()}
+                for vector in self.seed_corpus
+            )
+        except (TypeError, ValueError):
+            raise ReproError(
+                "seed_corpus must be a sequence of {param: int} vectors "
+                f"(got {self.seed_corpus!r})"
             )
         return self
 

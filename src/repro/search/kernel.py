@@ -279,6 +279,7 @@ class SearchKernel:
             return
         state.seen_paths.add(first.result.path_key)
         scheduler.push(first, 0, self.derive_flips(first, 0))
+        self._execute_seed_corpus()
 
         while scheduler and not state.stop and result.runs < self.config.max_runs:
             # the solve stages between runs can be arbitrarily slow, so
@@ -325,6 +326,36 @@ class SearchKernel:
                     return
         self.drain_deferred()
         result.distinct_paths = len(state.seen_paths)
+
+    def _execute_seed_corpus(self) -> None:
+        """Execute the extra seed vectors (cross-campaign corpus seeding).
+
+        Each vector runs like any other test — coverage, errors, crash
+        containment, run budget all apply — and every *new* path it
+        reaches joins the frontier with the full flip range, exactly as
+        if the search had generated it.  Already-executed vectors are
+        skipped, so replaying a seeded session (and seeding with the
+        primary seed itself) stays deterministic.
+        """
+        result = self.result
+        state = self.state
+        for vector in self.config.seed_corpus:
+            if result.runs >= self.config.max_runs or state.stop:
+                break
+            if (
+                self.config.dedupe_inputs
+                and self._input_key(vector) in state.seen_inputs
+            ):
+                continue
+            record = self.execute(dict(vector), parent=None, flipped=None)
+            if record is None:
+                continue  # the seed crashed the program; contained
+            record.note = record.note or "corpus seed"
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("search.corpus_seeds").inc()
+            if record.result.path_key not in state.seen_paths:
+                state.seen_paths.add(record.result.path_key)
+                state.scheduler.push(record, 0, self.derive_flips(record, 0))
 
     # -- stage 2: derive flips ---------------------------------------------
 

@@ -214,6 +214,7 @@ class ServiceScheduler(JobLeaseSource):
             job=job,
             checkpoint=campaign.checkpoint,
             telemetry_dir=campaign.directory,
+            tenant=campaign.record.tenant,
         )
 
     def _pick(self) -> "tuple[Optional[_ActiveCampaign], Optional[SearchJob]]":

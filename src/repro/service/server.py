@@ -48,6 +48,9 @@ class CampaignService:
         idle_exit: bool = False,
         progress: Optional[Callable[[JobResult], None]] = None,
         log: Optional[Callable[[str], None]] = None,
+        store_dir: Optional[str] = None,
+        store_max_bytes: Optional[int] = None,
+        seed_from_store: bool = False,
     ) -> None:
         self.state = ServiceState(state_dir)
         policy: Dict[str, object] = {}
@@ -69,7 +72,11 @@ class CampaignService:
             fault_spec=fault_plan,
             telemetry_dir=None,
             supervisor=config.validate(),
+            store_dir=store_dir,
+            seed_from_store=seed_from_store,
         )
+        #: gc budget applied to the shared store when the serve loop exits
+        self.store_max_bytes = store_max_bytes
         plan = (
             FaultPlan.parse(fault_plan) if fault_plan else current_fault_plan()
         )
@@ -93,7 +100,9 @@ class CampaignService:
         from its checkpoint.
         """
         try:
-            return self.runner.serve(self.scheduler, progress=self._progress)
+            settled = self.runner.serve(self.scheduler, progress=self._progress)
+            self._gc_store()
+            return settled
         except SearchInterrupted as exc:
             for campaign in self.scheduler._active.values():
                 try:
@@ -106,3 +115,16 @@ class CampaignService:
                 exc.resume_hint = f"repro serve --state-dir {self.state.state_dir}"
             exc.checkpoint_dir = self.state.state_dir
             raise
+
+    def _gc_store(self) -> None:
+        """Enforce the store's size budget once the fleet is quiet.
+
+        Eviction is answer-neutral: a re-run recomputes anything evicted
+        and lands on byte-identical digests, so gc can run at any quiet
+        point without coordinating with tenants.
+        """
+        if self.runner.store_dir is None or self.store_max_bytes is None:
+            return
+        from ..store import ContentStore
+
+        ContentStore(self.runner.store_dir).gc(self.store_max_bytes)

@@ -10,29 +10,32 @@ structurally identical queries (up to variable/function renaming) from any
 process, any :class:`~repro.solver.terms.TermManager`, and any run land on
 the same entry.
 
-Layout (two-level fan-out keeps directories small)::
+Since the shared content-addressed store landed, :class:`DiskCache` is a
+thin adapter over the ``solver/`` namespace of a
+:class:`~repro.store.ContentStore` rooted at its directory::
 
     <cache-dir>/
-        ab/
-            ab3f...e2.json        # one canonical verdict per file
-        cd/
-            cd01...9a.json
+        solver/
+            ab/
+                ab3f...e2.json        # one canonical verdict per file
+        journal.jsonl                 # store access journal (LRU order)
 
-Write discipline
-----------------
-Entries are written to a private temp file in the same directory and
-published with :func:`os.replace`, so concurrent writers (worker processes
-of a campaign) race benignly: readers only ever see absent or complete
-files, and the last writer wins with a byte-identical payload — a stateless
-solve is a pure function of the canonical key, so *which* process computes
-an entry is unobservable.  No locks, no cross-process coordination.
+The store owns the write discipline (atomic temp + ``os.replace``, safe
+concurrent writers across processes and machines), corrupt-entry
+quarantine, eviction, and the access journal; this module owns the
+solver-specific payload schema and the digesting of canonical keys.
+**Content digests and payloads are unchanged** from the pre-store flat
+layout — only the fanout moved under ``solver/`` — and a directory still
+holding the old flat layout is imported once, transparently, on first
+open (old files left intact; see
+:meth:`~repro.store.ContentStore.migrate_flat_solver_cache`).
 
 Invalidation
 ------------
 Every entry embeds a format header (:data:`DISKCACHE_FORMAT`).  An entry
 with the wrong header, malformed JSON (truncated write, disk corruption),
 or a payload that fails shape validation is treated as a **miss** — never
-an error — counted as ``solver.diskcache.skipped``, and **deleted on
+an error — counted as ``solver.diskcache.skipped``, and **quarantined on
 first detection** (counted as ``solver.diskcache.corrupt_removed``) so a
 poisoned entry costs one failed parse ever, not one per lookup until the
 next store happens to replace it.  Bumping :data:`DISKCACHE_FORMAT`
@@ -46,19 +49,19 @@ have computed, so cache population order — and disk-cache warmth — is
 unobservable in generated test suites.
 
 Hits, misses, stores, and skipped (corrupt) entries are counted in the
-default metrics registry as ``solver.diskcache.*``.
+default metrics registry as ``solver.diskcache.*`` (and, via the store,
+as ``store.solver.*``).
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
-import tempfile
 import threading
 from typing import Dict, Optional, Tuple
 
 from ..obs.metrics import default_registry
+from ..store import ContentStore
 from .cache import CachedResult
 
 __all__ = ["DISKCACHE_FORMAT", "DiskCache"]
@@ -119,22 +122,30 @@ class DiskCache:
 
     def __init__(self, directory: str) -> None:
         self.directory = os.path.abspath(directory)
-        os.makedirs(self.directory, exist_ok=True)
+        self._store = ContentStore(self.directory)
+        # one-shot import of a pre-store flat cache layout (old files
+        # left intact; no-op on already-migrated or fresh directories)
+        self._store.migrate_flat_solver_cache()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         #: entries found on disk but unreadable (corrupt/stale format)
         self.skipped = 0
-        #: corrupt entries deleted on first detection
+        #: corrupt entries quarantined on first detection
         self.corrupt_removed = 0
 
     # -- addressing --------------------------------------------------------
 
+    @property
+    def content_store(self) -> ContentStore:
+        """The shared content-addressed store this cache lives in."""
+        return self._store
+
     def path_for(self, key: Tuple[object, ...]) -> str:
         """The entry file a canonical key is addressed to."""
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-        return os.path.join(self.directory, digest[:2], digest + ".json")
+        return self._store.path_for("solver", digest)
 
     # -- lookup / store ----------------------------------------------------
 
@@ -142,26 +153,17 @@ class DiskCache:
         """The stored verdict for ``key``, or None (miss or unreadable)."""
         path = self.path_for(key)
         entry: Optional[CachedResult] = None
-        corrupt = False
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = _decode(json.load(handle))
-        except FileNotFoundError:
-            pass
-        except (OSError, ValueError, KeyError, TypeError):
-            # truncated write, corruption, or a stale format: a miss, and
-            # never fatal — the next store replaces the file atomically
-            corrupt = True
-        removed = False
-        if corrupt:
-            # delete the poisoned entry now so it costs one failed parse
-            # ever; a concurrent writer replacing it first is fine (we
-            # unlink whatever is there, the next store re-publishes)
+        payload, corrupt = self._store.load_entry(
+            "solver", path, expected_format=DISKCACHE_FORMAT
+        )
+        if payload is not None:
             try:
-                os.unlink(path)
-                removed = True
-            except OSError:
-                pass
+                entry = _decode(payload)
+            except (ValueError, KeyError, TypeError):
+                # shape violation the store's format check let through:
+                # quarantine it here, same one-parse-ever policy
+                corrupt = self._store.quarantine("solver", path)
+        removed = corrupt  # quarantined = gone from its address
         with self._lock:
             if entry is not None:
                 self.hits += 1
@@ -189,24 +191,7 @@ class DiskCache:
         Disk trouble (full volume, permissions) downgrades to not caching —
         the computed result is already in the caller's hands.
         """
-        path = self.path_for(key)
-        payload = json.dumps(_encode(entry), sort_keys=True)
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+        if not self._store.save("solver", self.path_for(key), _encode(entry)):
             return
         with self._lock:
             self.stores += 1
@@ -217,9 +202,10 @@ class DiskCache:
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        """Number of entry files currently on disk (walks the directory)."""
+        """Number of entry files currently on disk (walks the namespace)."""
         count = 0
-        for _dirpath, _dirnames, filenames in os.walk(self.directory):
+        top = os.path.join(self.directory, "solver")
+        for _dirpath, _dirnames, filenames in os.walk(top):
             count += sum(
                 1 for name in filenames
                 if name.endswith(".json") and not name.startswith(".tmp-")
